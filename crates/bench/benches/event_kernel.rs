@@ -1,0 +1,124 @@
+//! Microbenchmarks of the discrete-event kernel: event queue push/pop,
+//! RNG throughput, FCFS server accounting and the DPN round-robin state
+//! machine.
+
+use bds_des::dist::{Exponential, Normal, Sample};
+use bds_des::fcfs::FcfsServer;
+use bds_des::rng::Xoshiro256;
+use bds_des::time::{Duration, SimTime};
+use bds_des::EventQueue;
+use bds_machine::{Cohort, CohortId, Dpn};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Xoshiro256::seed_from_u64(1);
+            for i in 0..10_000u64 {
+                q.schedule_at(SimTime::from_millis(rng.next_range(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some(s) = q.pop() {
+                sum = sum.wrapping_add(s.event);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("xoshiro_next_f64_1k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("exponential_sample_1k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let mut d = Exponential::new(1.2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("normal_sample_1k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let mut d = Normal::new(0.0, 1.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fcfs(c: &mut Criterion) {
+    c.bench_function("fcfs_enqueue_1k", |b| {
+        b.iter(|| {
+            let mut s = FcfsServer::new(SimTime::ZERO);
+            for i in 0..1000u64 {
+                black_box(s.enqueue(SimTime::from_millis(i * 3), Duration::from_millis(2)));
+            }
+            black_box(s.total_demand())
+        })
+    });
+}
+
+fn bench_dpn_round_robin(c: &mut Criterion) {
+    c.bench_function("dpn_round_robin_64_cohorts", |b| {
+        b.iter(|| {
+            let mut d = Dpn::new();
+            let mut next = d
+                .add_cohort(
+                    SimTime::ZERO,
+                    Cohort {
+                        id: CohortId(0),
+                        remaining: Duration::from_millis(5000),
+                        quantum: Duration::from_millis(125),
+                    },
+                )
+                .unwrap();
+            for i in 1..64u64 {
+                d.add_cohort(
+                    SimTime::ZERO,
+                    Cohort {
+                        id: CohortId(i),
+                        remaining: Duration::from_millis(5000),
+                        quantum: Duration::from_millis(125),
+                    },
+                );
+            }
+            let mut finished = 0u32;
+            loop {
+                let out = d.on_slice_end(next);
+                if out.finished.is_some() {
+                    finished += 1;
+                }
+                match out.next_slice_end {
+                    Some(t) => next = t,
+                    None => break,
+                }
+            }
+            black_box(finished)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_fcfs,
+    bench_dpn_round_robin
+);
+criterion_main!(benches);

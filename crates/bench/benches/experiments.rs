@@ -1,0 +1,96 @@
+//! End-to-end simulation benchmarks: one per paper artifact family, at
+//! reduced horizons so `cargo bench` completes in minutes. The full
+//! regeneration (paper horizons) is the `repro` binary.
+//!
+//! * `fig8_point/...` — one RT-vs-λ point per scheduler (Fig. 8 family:
+//!   also feeds Tables 2/3 and Figs. 9/10/11).
+//! * `table4_point/...` — one hot-set point per scheduler (Exp. 2:
+//!   Table 4 / Fig. 12).
+//! * `fig13_point/...` — one estimation-error point (Exp. 3: Fig. 13 /
+//!   Table 5).
+
+use batchsched::config::{SimConfig, WorkloadKind};
+use batchsched::des::Duration;
+use batchsched::sched::SchedulerKind;
+use batchsched::sim::Simulator;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const BENCH_HORIZON_SECS: u64 = 200;
+
+fn bench_fig8_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_point");
+    group.sample_size(10);
+    for kind in SchedulerKind::PAPER_SET {
+        let mut cfg = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+        cfg.lambda_tps = 0.8;
+        cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulator::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table4_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_point");
+    group.sample_size(10);
+    for kind in SchedulerKind::PAPER_SET {
+        let mut cfg = SimConfig::new(kind, WorkloadKind::Exp2);
+        cfg.lambda_tps = 0.8;
+        cfg.dd = 2;
+        cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulator::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig13_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_point");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
+        let mut cfg = SimConfig::new(
+            kind,
+            WorkloadKind::Exp3 {
+                num_files: 16,
+                sigma: 1.0,
+            },
+        );
+        cfg.lambda_tps = 0.6;
+        cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulator::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_overloaded_c2pl(c: &mut Criterion) {
+    // The stress case: C2PL at mpl = ∞ beyond saturation grows hundreds
+    // of live transactions (the paper's chains of blocking).
+    let mut group = c.benchmark_group("overload");
+    group.sample_size(10);
+    let mut cfg = SimConfig::new(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files: 16 });
+    cfg.lambda_tps = 1.2;
+    cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
+    group.bench_function("c2pl_lambda1.2", |b| {
+        b.iter(|| black_box(Simulator::run(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_points,
+    bench_table4_points,
+    bench_fig13_points,
+    bench_overloaded_c2pl
+);
+criterion_main!(benches);

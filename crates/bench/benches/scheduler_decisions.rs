@@ -1,0 +1,97 @@
+//! Microbenchmarks of scheduler decision latency: admission + lock
+//! request + commit for each of the paper's six schedulers on a
+//! representative contended state.
+
+use batchsched::sched::lock_table::LockTable;
+use batchsched::sched::{Scheduler, SchedulerKind};
+use batchsched::workload::gen::{Experiment1, WorkloadGen};
+use batchsched::workload::{BatchSpec, LockMode};
+use bds_des::rng::Xoshiro256;
+use bds_machine::CostBook;
+use bds_wtpg::TxnId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Build a scheduler with `n` live Experiment-1 transactions, each having
+/// acquired its first lock where possible.
+fn loaded_scheduler(kind: SchedulerKind, n: u64) -> (Box<dyn Scheduler>, Vec<BatchSpec>) {
+    let costs = CostBook::default();
+    let mut sched = kind.build(&costs);
+    let mut gen = Experiment1::new(16, Xoshiro256::seed_from_u64(7));
+    let mut specs = Vec::new();
+    for i in 0..n {
+        let spec = gen.next_batch();
+        specs.push(spec.clone());
+        let id = TxnId(i);
+        sched.register(id, spec);
+        use batchsched::sched::StartDecision;
+        if sched.try_start(id).decision == StartDecision::Admit {
+            let _ = sched.request(id, 0);
+        }
+    }
+    (sched, specs)
+}
+
+fn bench_decision_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admit_request_commit");
+    for kind in SchedulerKind::PAPER_SET {
+        for &n in &[8u64, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || loaded_scheduler(kind, n),
+                        |(mut sched, _)| {
+                            let id = TxnId(10_000);
+                            let spec = BatchSpec::new(vec![
+                                batchsched::workload::spec::Step::read(
+                                    batchsched::workload::FileId(3),
+                                    LockMode::Exclusive,
+                                    1.0,
+                                ),
+                                batchsched::workload::spec::Step::write(
+                                    batchsched::workload::FileId(9),
+                                    1.0,
+                                ),
+                            ]);
+                            sched.register(id, spec);
+                            use batchsched::sched::StartDecision;
+                            if sched.try_start(id).decision == StartDecision::Admit {
+                                let _ = black_box(sched.request(id, 0));
+                                let _ = black_box(sched.request(id, 1));
+                                let _ = sched.validate(id);
+                                let _ = black_box(sched.commit(id));
+                            }
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_table_grant_release_64", |b| {
+        b.iter_batched(
+            LockTable::new,
+            |mut lt| {
+                use batchsched::workload::FileId;
+                for i in 0..64u64 {
+                    // One exclusive lock per distinct file plus a shared
+                    // lock on a common file (always compatible).
+                    lt.grant(TxnId(i), FileId(i as u32 + 100), LockMode::Exclusive);
+                    lt.grant(TxnId(i), FileId(0), LockMode::Shared);
+                }
+                for i in 0..64u64 {
+                    black_box(lt.release_all(TxnId(i)));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_decision_cycle, bench_lock_table);
+criterion_main!(benches);

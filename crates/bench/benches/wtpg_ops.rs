@@ -1,0 +1,158 @@
+//! Microbenchmarks of the WTPG algorithms: critical path, E(q), the GOW
+//! chain optimizer and the chain-form admission test.
+//!
+//! These are the operations whose CPU cost the paper models with
+//! `kwtpgtime`/`chaintime`/`toptime`; the benchmarks show the real cost
+//! of our implementations at representative graph sizes.
+
+use bds_wtpg::chain::{accepts_new_txn, is_chain_form, min_critical};
+use bds_wtpg::eq::eval_grant;
+use bds_wtpg::paths::{critical_path, has_cycle, propagate, reachable};
+use bds_wtpg::{TxnId, Wtpg};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn t(i: u64) -> TxnId {
+    TxnId(i)
+}
+
+/// A chain of `n` transactions with deterministic pseudo-random weights.
+fn chain_graph(n: u64) -> Wtpg {
+    let mut g = Wtpg::new();
+    let mut x = 0x9E37u64;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) % 100) as f64 / 10.0
+    };
+    for i in 0..n {
+        g.add_txn(t(i), next());
+    }
+    for i in 0..n - 1 {
+        g.declare_conflict(t(i), t(i + 1), next(), next());
+    }
+    g
+}
+
+/// A denser non-chain graph (every node conflicts with up to 4 others).
+fn dense_graph(n: u64) -> Wtpg {
+    let mut g = Wtpg::new();
+    for i in 0..n {
+        g.add_txn(t(i), (i % 7) as f64);
+    }
+    for i in 0..n {
+        for d in 1..=4u64 {
+            if i + d < n {
+                g.declare_conflict(t(i), t(i + d), 1.0 + d as f64, 2.0);
+            }
+        }
+    }
+    // Orient a spine so there are real precedence paths.
+    for i in 0..n - 1 {
+        g.set_precedence(t(i), t(i + 1));
+    }
+    g
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("critical_path");
+    for &n in &[8u64, 32, 128] {
+        let g = dense_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(critical_path(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachable");
+    for &n in &[32u64, 128, 512] {
+        let g = dense_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(reachable(g, t(0), t(n - 1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_has_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("has_cycle");
+    for &n in &[32u64, 256] {
+        let g = dense_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(has_cycle(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gow_chain_optimizer(c: &mut Criterion) {
+    // The paper charges `chaintime = 30 ms` (4 MIPS CPU) for this
+    // computation; measure our implementation on growing chains.
+    let mut group = c.benchmark_group("gow_min_critical");
+    for &n in &[4u64, 8, 16, 32] {
+        let g = chain_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(min_critical(g, &[])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gow_chain_form_test(c: &mut Criterion) {
+    // `toptime = 5 ms` in the paper.
+    let mut group = c.benchmark_group("gow_admission");
+    for &n in &[8u64, 64] {
+        let g = chain_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                black_box(is_chain_form(g));
+                black_box(accepts_new_txn(g, &[t(0)]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_low_eval_grant(c: &mut Criterion) {
+    // `kwtpgtime = 10 ms` in the paper (E(q) evaluation).
+    let mut group = c.benchmark_group("low_eval_grant");
+    for &n in &[8u64, 32, 128] {
+        let g = dense_graph(n);
+        let orient = [(t(2), t(4))];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(eval_grant(g, &orient)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate");
+    for &n in &[32u64, 128] {
+        let g = dense_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter_batched(
+                || g.clone(),
+                |mut g| {
+                    let _ = black_box(propagate(&mut g));
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_critical_path,
+    bench_reachability,
+    bench_has_cycle,
+    bench_gow_chain_optimizer,
+    bench_gow_chain_form_test,
+    bench_low_eval_grant,
+    bench_propagate
+);
+criterion_main!(benches);

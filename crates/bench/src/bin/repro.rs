@@ -1,0 +1,65 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--csv] [artifact...]
+//! ```
+//!
+//! With no artifact arguments, every table and figure is regenerated in
+//! paper order (fig8 table2 fig9 table3 fig10 fig11 table4 fig12 fig13
+//! table5). The pseudo-artifact `ablations` runs the design-knob
+//! ablation studies. `--quick` runs reduced-fidelity settings (shorter
+//! horizon, fewer bisection iterations) for smoke testing; `--csv`
+//! emits CSV instead of aligned text tables.
+
+use batchsched::des::Duration;
+use batchsched::experiments::{run_artifact, ExpOptions, ARTIFACT_IDS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let mut ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if ids.is_empty() {
+        ids = ARTIFACT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ARTIFACT_IDS.contains(&id.as_str()) && id != "ablations" {
+            eprintln!("unknown artifact '{id}'. valid: {ARTIFACT_IDS:?} or 'ablations'");
+            std::process::exit(2);
+        }
+    }
+    let opts = if quick {
+        let mut o = ExpOptions::quick();
+        o.horizon = Duration::from_secs(300);
+        o
+    } else {
+        ExpOptions::default()
+    };
+    eprintln!(
+        "repro: {} artifact(s), horizon {:.0}s, {} bisection iterations",
+        ids.len(),
+        opts.horizon.as_secs_f64(),
+        opts.bisect_iters
+    );
+    for id in &ids {
+        let t0 = Instant::now();
+        let tables = if id == "ablations" {
+            batchsched::ablations::run_all(&opts)
+        } else {
+            vec![run_artifact(id, &opts).table]
+        };
+        for table in tables {
+            if csv {
+                println!("# {}", table.title);
+                print!("{}", table.to_csv());
+            } else {
+                println!("{}", table.render());
+            }
+        }
+        eprintln!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,194 @@
+//! Ablation studies of the design choices DESIGN.md documents — beyond
+//! the paper's own evaluation.
+//!
+//! * [`low_k_sweep`] — LOW's conflict bound `K` (the paper fixes K = 2;
+//!   how sensitive is that choice?).
+//! * [`retry_delay_sweep`] — our interpretation decision that delayed
+//!   requests are re-submitted on state changes *and* after
+//!   `retry_delay` ("submitted … after some delay"): what does the
+//!   delay's magnitude cost?
+//! * [`admission_scan_sweep`] — the cap on costed admission tests per
+//!   sweep (bounds CN work scanning a long start queue under GOW).
+//! * [`wdl_comparison`] — the wait-depth-limited extension scheduler
+//!   against the paper's six, probing the paper's requirement analysis
+//!   (WDL avoids blocking chains *via rollback* — which of requirements
+//!   (1) and (3) dominates for batch transactions?).
+
+use crate::config::{SimConfig, WorkloadKind};
+use crate::driver;
+use crate::experiments::ExpOptions;
+use crate::report::{f1, f2, Table};
+use crate::sim::Simulator;
+use bds_des::time::Duration;
+use bds_sched::SchedulerKind;
+
+fn base(opts: &ExpOptions, kind: SchedulerKind, workload: WorkloadKind) -> SimConfig {
+    let mut c = SimConfig::new(kind, workload);
+    c.horizon = opts.horizon;
+    c.seed = opts.seed;
+    c
+}
+
+/// LOW's K: throughput at RT = 70 s for K ∈ {1, 2, 3, 4} on the blocking
+/// workload (Exp. 1) and the hot-set workload (Exp. 2), DD = 1.
+pub fn low_k_sweep(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: LOW's conflict bound K — TPS at RT=70s, DD=1",
+        vec!["K", "Exp.1 (16 files)", "Exp.2 (hot set)"],
+    );
+    for k in [1u32, 2, 3, 4] {
+        let exp1 = driver::throughput_at_rt(
+            &base(opts, SchedulerKind::Low(k), WorkloadKind::Exp1 { num_files: 16 }),
+            70.0,
+            0.05,
+            1.4,
+            opts.bisect_iters,
+        );
+        let exp2 = driver::throughput_at_rt(
+            &base(opts, SchedulerKind::Low(k), WorkloadKind::Exp2),
+            70.0,
+            0.05,
+            1.4,
+            opts.bisect_iters,
+        );
+        t.push_row(vec![
+            k.to_string(),
+            f2(exp1.throughput_tps()),
+            f2(exp2.throughput_tps()),
+        ]);
+    }
+    t
+}
+
+/// Retry delay: mean RT of GOW and LOW at λ = 0.9, DD = 1 with the
+/// delayed-request re-submission timer at 250 / 1000 / 4000 ms.
+pub fn retry_delay_sweep(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: delayed-request retry timer — mean RT (s) at λ=0.9, DD=1",
+        vec!["retry delay (ms)", "GOW", "LOW"],
+    );
+    for ms in [250u64, 1000, 4000] {
+        let mut row = vec![ms.to_string()];
+        for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
+            let mut cfg = base(opts, kind, WorkloadKind::Exp1 { num_files: 16 });
+            cfg.lambda_tps = 0.9;
+            cfg.retry_delay = Duration::from_millis(ms);
+            row.push(f1(Simulator::run(&cfg).mean_rt_secs()));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Admission scan cap: GOW throughput and CN utilization at λ = 1.0,
+/// DD = 1 with 2 / 16 / 64 costed admission tests per sweep.
+pub fn admission_scan_sweep(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: admission scan cap — GOW at λ=1.0, DD=1",
+        vec!["scan cap", "completed", "mean RT (s)", "CN util"],
+    );
+    for cap in [2usize, 16, 64] {
+        let mut cfg = base(opts, SchedulerKind::Gow, WorkloadKind::Exp1 { num_files: 16 });
+        cfg.lambda_tps = 1.0;
+        cfg.admission_scan_limit = cap;
+        let r = Simulator::run(&cfg);
+        t.push_row(vec![
+            cap.to_string(),
+            r.completed.to_string(),
+            f1(r.mean_rt_secs()),
+            format!("{:.0}%", r.cn_utilization * 100.0),
+        ]);
+    }
+    t
+}
+
+/// WDL vs the paper's six: throughput at RT = 70 s (Exp. 1 and Exp. 2,
+/// DD = 1) and restarts at λ = 0.8.
+pub fn wdl_comparison(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Extension: wait-depth limited locking vs the paper's schedulers (DD=1)",
+        vec![
+            "scheduler",
+            "Exp.1 TPS@70s",
+            "Exp.2 TPS@70s",
+            "restarts (Exp.1, λ=0.8)",
+        ],
+    );
+    let mut kinds = vec![SchedulerKind::Wdl];
+    kinds.extend(SchedulerKind::PAPER_SET);
+    for kind in kinds {
+        let exp1 = driver::throughput_at_rt(
+            &base(opts, kind, WorkloadKind::Exp1 { num_files: 16 }),
+            70.0,
+            0.05,
+            1.4,
+            opts.bisect_iters,
+        );
+        let exp2 = driver::throughput_at_rt(
+            &base(opts, kind, WorkloadKind::Exp2),
+            70.0,
+            0.05,
+            1.4,
+            opts.bisect_iters,
+        );
+        let mut heavy = base(opts, kind, WorkloadKind::Exp1 { num_files: 16 });
+        heavy.lambda_tps = 0.8;
+        let hr = Simulator::run(&heavy);
+        t.push_row(vec![
+            kind.label(),
+            f2(exp1.throughput_tps()),
+            f2(exp2.throughput_tps()),
+            hr.restarts.to_string(),
+        ]);
+    }
+    t
+}
+
+/// All ablations in order.
+pub fn run_all(opts: &ExpOptions) -> Vec<Table> {
+    vec![
+        low_k_sweep(opts),
+        retry_delay_sweep(opts),
+        admission_scan_sweep(opts),
+        wdl_comparison(opts),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        let mut o = ExpOptions::quick();
+        o.horizon = Duration::from_secs(150);
+        o.bisect_iters = 2;
+        o
+    }
+
+    #[test]
+    fn low_k_sweep_shape() {
+        let t = low_k_sweep(&quick());
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.header.len(), 3);
+    }
+
+    #[test]
+    fn wdl_runs_end_to_end() {
+        let mut cfg = SimConfig::new(
+            SchedulerKind::Wdl,
+            WorkloadKind::Exp1 { num_files: 16 },
+        );
+        cfg.lambda_tps = 0.5;
+        cfg.horizon = Duration::from_secs(400);
+        let r = Simulator::run(&cfg);
+        assert!(r.completed > 100, "WDL completed only {}", r.completed);
+        // Under contention WDL must actually restart sometimes.
+        assert!(r.restarts > 0, "WDL never restarted at λ=0.5");
+    }
+
+    #[test]
+    fn retry_delay_changes_results() {
+        let t = retry_delay_sweep(&quick());
+        assert_eq!(t.rows.len(), 3);
+    }
+}

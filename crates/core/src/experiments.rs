@@ -1,0 +1,482 @@
+//! One entry point per table/figure of the paper's evaluation (§5).
+//!
+//! Every function regenerates the corresponding artifact as a
+//! [`Table`]; the `repro` binary in `bds-bench` prints them. Paper
+//! reference values are recorded in `EXPERIMENTS.md` at the repo root.
+//!
+//! | Function | Paper artifact | What it reports |
+//! |----------|----------------|-----------------|
+//! | [`fig8`] | Fig. 8 | RT vs λ (Exp. 1, DD=1, 16 files) |
+//! | [`table2`] | Table 2 | TPS at RT=70 s vs NumFiles (DD=1) |
+//! | [`fig9`] | Fig. 9 | TPS at RT=70 s vs DD (16 files) |
+//! | [`table3`] | Table 3 | RT(s) at λ=1.2 vs DD (incl. C2PL+M) |
+//! | [`fig10`] | Fig. 10 | RT speedup at λ=1.2 vs DD |
+//! | [`fig11`] | Fig. 11 | RT speedup vs λ (DD=4) |
+//! | [`table4`] | Table 4 | Exp. 2: TPS at RT=70 s and RT at λ=1.2 |
+//! | [`fig12`] | Fig. 12 | Exp. 2: RT speedup at λ=1.2 vs DD |
+//! | [`fig13`] | Fig. 13 | Exp. 3: TPS at RT=70 s vs error σ |
+//! | [`table5`] | Table 5 | Exp. 3: degradation TPS(σ=10)/TPS(σ=0) |
+
+use crate::config::{SimConfig, WorkloadKind};
+use crate::driver;
+use crate::report::{f1, f2, Table};
+use crate::sim::Simulator;
+use bds_des::time::Duration;
+use bds_sched::SchedulerKind;
+
+/// Knobs controlling experiment fidelity (full paper runs vs quick CI
+/// runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpOptions {
+    /// Horizon per simulation point (paper: 2,000,000 ms).
+    pub horizon: Duration,
+    /// Bisection iterations for the RT = 70 s search.
+    pub bisect_iters: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// mpl grid swept for C2PL+M.
+    pub mpl_grid: Vec<u32>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            horizon: Duration::from_millis(2_000_000),
+            bisect_iters: 6,
+            seed: 0x5EED_BA7C,
+            mpl_grid: vec![4, 8, 16, 32],
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Reduced-fidelity options for tests and smoke runs.
+    pub fn quick() -> Self {
+        ExpOptions {
+            horizon: Duration::from_secs(400),
+            bisect_iters: 3,
+            seed: 0x5EED_BA7C,
+            mpl_grid: vec![8, 32],
+        }
+    }
+
+    fn base(&self, kind: SchedulerKind, workload: WorkloadKind) -> SimConfig {
+        let mut c = SimConfig::new(kind, workload);
+        c.horizon = self.horizon;
+        c.seed = self.seed;
+        c
+    }
+}
+
+/// The λ range probed by the RT-target bisection (the machine saturates
+/// near 1.11 TPS for Pattern 1).
+const BISECT_LO: f64 = 0.05;
+const BISECT_HI: f64 = 1.4;
+
+/// Target mean response time for the throughput tables (seconds).
+const RT_TARGET: f64 = 70.0;
+
+/// Fig. 8 — Exp. 1: mean response time (s) as a function of arrival
+/// rate; DD = 1, NumFiles = 16, all six schedulers.
+pub fn fig8(opts: &ExpOptions) -> Table {
+    let lambdas = [0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4];
+    let mut header = vec!["lambda(TPS)".to_string()];
+    header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Fig.8: Exp.1 Arrival Rate vs Response Time (s), DD=1, NumFiles=16".into(),
+        header,
+        rows: Vec::new(),
+    };
+    for &l in &lambdas {
+        let mut row = vec![f2(l)];
+        for kind in SchedulerKind::PAPER_SET {
+            let cfg = opts
+                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                .with_lambda(l);
+            let r = Simulator::run(&cfg);
+            row.push(f1(r.mean_rt_secs()));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Table 2 — Exp. 1: throughput (TPS) at RT = 70 s, DD = 1,
+/// NumFiles ∈ {8, 16, 32, 64}.
+pub fn table2(opts: &ExpOptions) -> Table {
+    let mut header = vec!["#files".to_string()];
+    header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Table 2: Exp.1 NumFiles vs Throughput (TPS) at RT=70s, DD=1".into(),
+        header,
+        rows: Vec::new(),
+    };
+    for nf in [8u32, 16, 32, 64] {
+        let mut row = vec![nf.to_string()];
+        for kind in SchedulerKind::PAPER_SET {
+            let cfg = opts.base(kind, WorkloadKind::Exp1 { num_files: nf });
+            let r = driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters);
+            row.push(f2(r.throughput_tps()));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig. 9 — Exp. 1: throughput (TPS) at RT = 70 s as DD grows,
+/// NumFiles = 16.
+pub fn fig9(opts: &ExpOptions) -> Table {
+    let mut header = vec!["DD".to_string()];
+    header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Fig.9: Exp.1 Declustering vs Throughput (TPS) at RT=70s, NumFiles=16".into(),
+        header,
+        rows: Vec::new(),
+    };
+    for dd in [1u32, 2, 4, 8] {
+        let mut row = vec![dd.to_string()];
+        for kind in SchedulerKind::PAPER_SET {
+            let cfg = opts
+                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                .with_dd(dd);
+            let r = driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters);
+            row.push(f2(r.throughput_tps()));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Shared computation for Table 3 / Fig. 10: mean RT at λ = 1.2 TPS for
+/// DD ∈ {1, 2, 4, 8}, including C2PL+M (best mpl). Returns
+/// `(labels, rt[dd_index][scheduler_index])`.
+fn exp1_rt_at_heavy_load(opts: &ExpOptions) -> (Vec<String>, Vec<Vec<f64>>) {
+    let schedulers = [
+        SchedulerKind::Nodc,
+        SchedulerKind::Asl,
+        SchedulerKind::Gow,
+        SchedulerKind::Low(2),
+        SchedulerKind::C2pl,
+        SchedulerKind::Opt,
+    ];
+    let mut labels: Vec<String> = schedulers.iter().map(|k| k.label()).collect();
+    labels.push("C2PL+M".into());
+    let mut grid = Vec::new();
+    for dd in [1u32, 2, 4, 8] {
+        let mut row = Vec::new();
+        for kind in schedulers {
+            let cfg = opts
+                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                .with_lambda(1.2)
+                .with_dd(dd);
+            row.push(Simulator::run(&cfg).mean_rt_secs());
+        }
+        // C2PL+M: best mpl at this DD.
+        let base = opts
+            .base(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files: 16 })
+            .with_lambda(1.2)
+            .with_dd(dd);
+        let (_, r) = driver::best_mpl(&base, &opts.mpl_grid);
+        row.push(r.mean_rt_secs());
+        grid.push(row);
+    }
+    (labels, grid)
+}
+
+/// Table 3 — Exp. 1: response time (s) at λ = 1.2 TPS vs DD,
+/// NumFiles = 16 (C2PL reported through its best-mpl variant C2PL+M,
+/// as in the paper).
+pub fn table3(opts: &ExpOptions) -> Table {
+    let (labels, grid) = exp1_rt_at_heavy_load(opts);
+    let mut header = vec!["DD".to_string()];
+    header.extend(labels);
+    let mut t = Table {
+        title: "Table 3: Exp.1 Declustering vs Resp.Time (s), NumFiles=16, λ=1.2 TPS".into(),
+        header,
+        rows: Vec::new(),
+    };
+    for (i, dd) in [1u32, 2, 4, 8].iter().enumerate() {
+        let mut row = vec![dd.to_string()];
+        row.extend(grid[i].iter().map(|&rt| f1(rt)));
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig. 10 — Exp. 1: response-time speedup at λ = 1.2 TPS,
+/// `RT(DD=1)/RT(DD=k)`, NumFiles = 16.
+pub fn fig10(opts: &ExpOptions) -> Table {
+    let (labels, grid) = exp1_rt_at_heavy_load(opts);
+    let mut header = vec!["DD".to_string()];
+    header.extend(labels);
+    let mut t = Table {
+        title: "Fig.10: Exp.1 Declustering vs Resp.Time Speedup, NumFiles=16, λ=1.2 TPS"
+            .into(),
+        header,
+        rows: Vec::new(),
+    };
+    for (i, dd) in [1u32, 2, 4, 8].iter().enumerate() {
+        let mut row = vec![dd.to_string()];
+        for (j, &rt) in grid[i].iter().enumerate() {
+            let speedup = if rt > 0.0 { grid[0][j] / rt } else { f64::NAN };
+            row.push(f2(speedup));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig. 11 — Exp. 1: response-time speedup (`RT at DD=1 / RT at DD=4`)
+/// as a function of arrival rate; NumFiles = 16.
+pub fn fig11(opts: &ExpOptions) -> Table {
+    let lambdas = [0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
+    let mut header = vec!["lambda(TPS)".to_string()];
+    header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Fig.11: Exp.1 Arrival Rate vs Resp.Time Speedup (DD=4), NumFiles=16".into(),
+        header,
+        rows: Vec::new(),
+    };
+    for &l in &lambdas {
+        let mut row = vec![f2(l)];
+        for kind in SchedulerKind::PAPER_SET {
+            let cfg = opts
+                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                .with_lambda(l);
+            row.push(f2(driver::rt_speedup(&cfg, 4)));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Table 4 — Exp. 2 (hot-set update): throughput (TPS) at RT = 70 s and
+/// response time (s) at λ = 1.2 TPS, for DD ∈ {1, 2, 4}.
+pub fn table4(opts: &ExpOptions) -> Table {
+    let mut header = vec!["metric".to_string(), "DD".to_string()];
+    header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Table 4: Exp.2 Throughput (TPS at RT=70s) and Resp.Time (s at λ=1.2)".into(),
+        header,
+        rows: Vec::new(),
+    };
+    for dd in [1u32, 2, 4] {
+        let mut row = vec!["Thruput".to_string(), dd.to_string()];
+        for kind in SchedulerKind::PAPER_SET {
+            let cfg = opts.base(kind, WorkloadKind::Exp2).with_dd(dd);
+            let r = driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters);
+            row.push(f2(r.throughput_tps()));
+        }
+        t.rows.push(row);
+    }
+    for dd in [1u32, 2, 4] {
+        let mut row = vec!["RespTime".to_string(), dd.to_string()];
+        for kind in SchedulerKind::PAPER_SET {
+            let cfg = opts
+                .base(kind, WorkloadKind::Exp2)
+                .with_lambda(1.2)
+                .with_dd(dd);
+            row.push(f1(Simulator::run(&cfg).mean_rt_secs()));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig. 12 — Exp. 2: response-time speedup at λ = 1.2 TPS vs DD.
+pub fn fig12(opts: &ExpOptions) -> Table {
+    let mut header = vec!["DD".to_string()];
+    header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Fig.12: Exp.2 Declustering vs Resp.Time Speedup, λ=1.2 TPS".into(),
+        header,
+        rows: Vec::new(),
+    };
+    // RT at DD=1 per scheduler (speedup baseline).
+    let base_rt: Vec<f64> = SchedulerKind::PAPER_SET
+        .iter()
+        .map(|&kind| {
+            let cfg = opts.base(kind, WorkloadKind::Exp2).with_lambda(1.2);
+            Simulator::run(&cfg).mean_rt_secs()
+        })
+        .collect();
+    for dd in [1u32, 2, 4, 8] {
+        let mut row = vec![dd.to_string()];
+        for (j, &kind) in SchedulerKind::PAPER_SET.iter().enumerate() {
+            let cfg = opts
+                .base(kind, WorkloadKind::Exp2)
+                .with_lambda(1.2)
+                .with_dd(dd);
+            let rt = Simulator::run(&cfg).mean_rt_secs();
+            row.push(f2(if rt > 0.0 { base_rt[j] / rt } else { f64::NAN }));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig. 13 — Exp. 3 (declaration-error sensitivity): throughput (TPS)
+/// at RT = 70 s as a function of the error σ, for GOW and LOW at
+/// DD ∈ {1, 2, 4} (C2PL shown as the lower-bound reference).
+pub fn fig13(opts: &ExpOptions) -> Table {
+    let sigmas = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0];
+    let mut t = Table {
+        title: "Fig.13: Exp.3 Error Ratio σ vs Throughput (TPS at RT=70s), NumFiles=16"
+            .into(),
+        header: vec![
+            "sigma".into(),
+            "GOW DD=1".into(),
+            "GOW DD=2".into(),
+            "GOW DD=4".into(),
+            "LOW DD=1".into(),
+            "LOW DD=2".into(),
+            "LOW DD=4".into(),
+            "C2PL DD=1".into(),
+            "C2PL DD=4".into(),
+        ],
+        rows: Vec::new(),
+    };
+    let tput = |kind: SchedulerKind, dd: u32, sigma: f64| -> f64 {
+        let workload = if sigma == 0.0 {
+            WorkloadKind::Exp1 { num_files: 16 }
+        } else {
+            WorkloadKind::Exp3 {
+                num_files: 16,
+                sigma,
+            }
+        };
+        let cfg = opts.base(kind, workload).with_dd(dd);
+        driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters)
+            .throughput_tps()
+    };
+    for &sigma in &sigmas {
+        let mut row = vec![f2(sigma)];
+        for dd in [1u32, 2, 4] {
+            row.push(f2(tput(SchedulerKind::Gow, dd, sigma)));
+        }
+        for dd in [1u32, 2, 4] {
+            row.push(f2(tput(SchedulerKind::Low(2), dd, sigma)));
+        }
+        // C2PL ignores declarations entirely: σ-independent reference.
+        row.push(f2(tput(SchedulerKind::C2pl, 1, 0.0)));
+        row.push(f2(tput(SchedulerKind::C2pl, 4, 0.0)));
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Table 5 — Exp. 3: degradation ratio `TPS(σ=10) / TPS(σ=0)` for GOW
+/// and LOW at DD ∈ {1, 2, 4}.
+pub fn table5(opts: &ExpOptions) -> Table {
+    let mut t = Table {
+        title: "Table 5: Exp.3 Sensitivity — Degradation Ratio TPS(σ=10)/TPS(σ=0)".into(),
+        header: vec!["scheduler".into(), "DD=1".into(), "DD=2".into(), "DD=4".into()],
+        rows: Vec::new(),
+    };
+    for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
+        let mut row = vec![kind.label()];
+        for dd in [1u32, 2, 4] {
+            let clean = driver::throughput_at_rt(
+                &opts
+                    .base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                    .with_dd(dd),
+                RT_TARGET,
+                BISECT_LO,
+                BISECT_HI,
+                opts.bisect_iters,
+            )
+            .throughput_tps();
+            let noisy = driver::throughput_at_rt(
+                &opts
+                    .base(
+                        kind,
+                        WorkloadKind::Exp3 {
+                            num_files: 16,
+                            sigma: 10.0,
+                        },
+                    )
+                    .with_dd(dd),
+                RT_TARGET,
+                BISECT_LO,
+                BISECT_HI,
+                opts.bisect_iters,
+            )
+            .throughput_tps();
+            let ratio = if clean > 0.0 { noisy / clean } else { f64::NAN };
+            row.push(format!("{:.0}%", ratio * 100.0));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// A rendered artifact with its identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Paper artifact id ("fig8", "table2", …).
+    pub id: &'static str,
+    /// The regenerated table.
+    pub table: Table,
+}
+
+/// All artifact ids, in paper order.
+pub const ARTIFACT_IDS: [&str; 10] = [
+    "fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13",
+    "table5",
+];
+
+/// Regenerate one artifact by id.
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run_artifact(id: &str, opts: &ExpOptions) -> Artifact {
+    let table = match id {
+        "fig8" => fig8(opts),
+        "table2" => table2(opts),
+        "fig9" => fig9(opts),
+        "table3" => table3(opts),
+        "fig10" => fig10(opts),
+        "fig11" => fig11(opts),
+        "table4" => table4(opts),
+        "fig12" => fig12(opts),
+        "fig13" => fig13(opts),
+        "table5" => table5(opts),
+        other => panic!("unknown artifact id '{other}' (valid: {ARTIFACT_IDS:?})"),
+    };
+    Artifact {
+        id: ARTIFACT_IDS
+            .iter()
+            .find(|&&a| a == id)
+            .expect("validated above"),
+        table,
+    }
+}
+
+/// Regenerate every artifact.
+pub fn run_all(opts: &ExpOptions) -> Vec<Artifact> {
+    ARTIFACT_IDS
+        .iter()
+        .map(|id| run_artifact(id, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny-horizon smoke test of one artifact end to end.
+    #[test]
+    fn fig8_smoke() {
+        let mut opts = ExpOptions::quick();
+        opts.horizon = Duration::from_secs(120);
+        let t = fig8(&opts);
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.header.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown artifact")]
+    fn unknown_artifact_panics() {
+        run_artifact("fig99", &ExpOptions::quick());
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulation outputs.
+
+use bds_des::stats::Welford;
+use serde::{Deserialize, Serialize};
+
+/// The report of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheduler label ("GOW", "LOW", …).
+    pub scheduler: String,
+    /// Arrival rate that was offered (TPS).
+    pub lambda_tps: f64,
+    /// Degree of declustering.
+    pub dd: u32,
+    /// Simulated horizon in seconds.
+    pub horizon_secs: f64,
+    /// Transactions that arrived.
+    pub arrived: u64,
+    /// Transactions that started (were admitted) at least once.
+    pub started: u64,
+    /// Transactions that committed.
+    pub completed: u64,
+    /// OPT validation failures / restarts.
+    pub restarts: u64,
+    /// Response-time statistics over committed transactions (seconds).
+    pub rt: Welford,
+    /// Control-node CPU utilization.
+    pub cn_utilization: f64,
+    /// Mean data-processing-node utilization.
+    pub dpn_utilization: f64,
+    /// Time-averaged number of live (started, uncommitted) transactions.
+    pub mean_live: f64,
+    /// Median response time in seconds (1-second histogram resolution;
+    /// `None` when nothing completed).
+    pub rt_p50_secs: Option<f64>,
+    /// 90th-percentile response time in seconds.
+    pub rt_p90_secs: Option<f64>,
+    /// 99th-percentile response time in seconds.
+    pub rt_p99_secs: Option<f64>,
+    /// Transactions still waiting in the start queue at the horizon.
+    pub queued_at_end: u64,
+    /// Total simulation events processed (progress metric).
+    pub events: u64,
+    /// Total lock requests evaluated (including retries).
+    pub lock_requests: u64,
+    /// Lock requests that ended blocked or delayed at least once.
+    pub requests_denied: u64,
+}
+
+impl SimReport {
+    /// Mean response time in seconds (0 when nothing completed).
+    pub fn mean_rt_secs(&self) -> f64 {
+        self.rt.mean()
+    }
+
+    /// Throughput in committed transactions per second.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.horizon_secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.horizon_secs
+        }
+    }
+
+    /// Ratio of useful resource utilization relative to another run
+    /// (the paper's `λ_S / λ_NODC` comparisons use throughput ratios).
+    pub fn throughput_ratio(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.throughput_tps();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.throughput_tps() / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(completed: u64, horizon: f64) -> SimReport {
+        SimReport {
+            scheduler: "TEST".into(),
+            lambda_tps: 1.0,
+            dd: 1,
+            horizon_secs: horizon,
+            arrived: completed,
+            started: completed,
+            completed,
+            restarts: 0,
+            rt: Welford::new(),
+            cn_utilization: 0.0,
+            dpn_utilization: 0.0,
+            mean_live: 0.0,
+            rt_p50_secs: None,
+            rt_p90_secs: None,
+            rt_p99_secs: None,
+            queued_at_end: 0,
+            events: 0,
+            lock_requests: 0,
+            requests_denied: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_is_completions_over_time() {
+        let r = report(2000, 2000.0);
+        assert!((r.throughput_tps() - 1.0).abs() < 1e-12);
+        assert_eq!(report(0, 0.0).throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn ratio_against_baseline() {
+        let a = report(500, 1000.0);
+        let b = report(1000, 1000.0);
+        assert!((a.throughput_ratio(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializes_roundtrip() {
+        let r = report(10, 100.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

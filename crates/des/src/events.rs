@@ -1,0 +1,223 @@
+//! Deterministic future-event list.
+//!
+//! [`EventQueue`] is a priority queue keyed by ([`SimTime`], insertion
+//! sequence number). Two events scheduled for the same instant pop in the
+//! order they were pushed, which makes whole-simulation runs bit-for-bit
+//! reproducible — a property the paper's sensitivity experiments rely on
+//! (identical arrival streams across schedulers).
+
+use crate::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: the payload plus its firing time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A future-event list with a monotone clock.
+///
+/// The queue owns the simulation clock: [`EventQueue::pop`] advances the
+/// clock to the firing time of the earliest event. Scheduling an event in
+/// the past is a logic error and panics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulated time (the firing time of the last popped
+    /// event, or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "EventQueue::schedule_at: scheduling in the past ({:?} < {:?})",
+            at,
+            self.now
+        );
+        let key = Reverse((at, self.seq));
+        self.seq += 1;
+        self.heap.push(Entry { key, event });
+    }
+
+    /// Schedule `event` after a delay from the current clock.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the current instant (fires after any event
+    /// already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Pop the earliest event and advance the clock to its firing time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|entry| {
+            let (at, _) = entry.key.0;
+            debug_assert!(at >= self.now, "event queue time went backwards");
+            self.now = at;
+            self.popped += 1;
+            Scheduled {
+                at,
+                event: entry.event,
+            }
+        })
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_millis(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let s = q.pop().unwrap();
+        assert_eq!(s.at, SimTime::from_millis(42));
+        assert_eq!(q.now(), SimTime::from_millis(42));
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn schedule_after_and_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.pop();
+        q.schedule_after(Duration::from_millis(5), 2);
+        q.schedule_now(3);
+        // schedule_now at t=10 fires before the one at t=15.
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.now(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(SimTime::from_millis(7), ());
+        q.schedule_at(SimTime::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(SimTime::from_millis(1), ());
+        q.schedule_at(SimTime::from_millis(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be exactly reproducible: the paper compares six
+//! schedulers on *the same* arrival stream, and the sensitivity experiment
+//! (Exp. 3) perturbs declared I/O demands while keeping everything else
+//! fixed. We therefore implement a small, well-known generator —
+//! **xoshiro256++** seeded through **SplitMix64** — rather than depending on
+//! an external RNG crate whose stream could change between versions.
+//!
+//! [`Xoshiro256::fork`] derives an independent child stream, which the
+//! simulator uses to give each stochastic component (arrivals, file choice,
+//! estimation error) its own stream so that changing one experiment knob
+//! does not perturb the others (common random numbers).
+
+/// SplitMix64 step: used for seeding and stream derivation.
+///
+/// Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator (Blackman & Vigna, 2019).
+///
+/// 256 bits of state, period 2^256 − 1, excellent statistical quality for
+/// simulation purposes. Not cryptographically secure (irrelevant here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed deterministically from a single `u64` via SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // The all-zero state is invalid; SplitMix64 cannot produce four
+        // zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            Xoshiro256 { s: [1, 2, 3, 4] }
+        } else {
+            Xoshiro256 { s }
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; divide by 2^53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in the open interval `(0, 1]` — safe for `ln()`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        assert!(n != 0, "next_range: empty range");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform index into a slice of length `len`.
+    pub fn next_index(&mut self, len: usize) -> usize {
+        self.next_range(len as u64) as usize
+    }
+
+    /// Derive an independent child stream. The child is seeded from the
+    /// parent's output, so forking N children from a fixed parent yields a
+    /// fixed family of streams.
+    pub fn fork(&mut self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.next_u64())
+    }
+
+    /// Choose `k` distinct indices uniformly from `0..n` (Floyd's
+    /// algorithm); order of the result is the insertion order.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn choose_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "choose_distinct: k={k} > n={n}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.next_index(j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3, "streams nearly identical: {same} collisions");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn range_is_unbiased_enough() {
+        let mut r = Xoshiro256::seed_from_u64(11);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.next_range(7) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = n as f64 / 7.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "bucket {i} count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_zero_panics() {
+        Xoshiro256::seed_from_u64(0).next_range(0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut parent1 = Xoshiro256::seed_from_u64(5);
+        let mut parent2 = Xoshiro256::seed_from_u64(5);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Parent and child streams diverge.
+        let mut p = Xoshiro256::seed_from_u64(5);
+        let mut c = p.fork();
+        let same = (0..100).filter(|_| p.next_u64() == c.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn choose_distinct_yields_distinct_in_range() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = r.choose_distinct(16, 2);
+            assert_eq!(v.len(), 2);
+            assert_ne!(v[0], v[1]);
+            assert!(v.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn choose_distinct_full_set() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        let mut v = r.choose_distinct(5, 5);
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn choose_distinct_covers_all_pairs() {
+        // With 16 files and many draws every file should appear.
+        let mut r = Xoshiro256::seed_from_u64(13);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            for i in r.choose_distinct(16, 2) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn splitmix_known_progression() {
+        // SplitMix64 from seed 0: first output is a fixed known value.
+        let mut s = 0u64;
+        let first = splitmix64(&mut s);
+        assert_eq!(first, 0xE220_A839_7B1D_CDAF);
+    }
+}

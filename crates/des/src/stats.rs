@@ -1,0 +1,437 @@
+//! Online statistics for simulation outputs.
+//!
+//! * [`Welford`] — numerically stable streaming mean/variance (response
+//!   times).
+//! * [`TimeWeighted`] — piecewise-constant time averages (server
+//!   utilization, queue lengths; the paper reports ~95 % resource
+//!   utilization for NODC at saturation).
+//! * [`Histogram`] — fixed-width binning with quantile queries.
+//! * [`BatchMeans`] — non-overlapping batch means for a confidence
+//!   interval on a steady-state mean.
+
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Welford's streaming mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. number of
+/// busy servers or queue length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_change: start,
+            value,
+            weighted_sum: 0.0,
+            start,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let span = now.since(self.last_change);
+        self.weighted_sum += self.value * span.as_millis() as f64;
+        self.last_change = now;
+        self.value = value;
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value;
+        self.set(now, v + delta);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time average over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_millis() as f64;
+        if total == 0.0 {
+            return self.value;
+        }
+        let pending = self.value * now.since(self.last_change).as_millis() as f64;
+        (self.weighted_sum + pending) / total
+    }
+}
+
+/// Fixed-width histogram over `[0, width · bins)` with an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` buckets of width `width` plus one overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `width <= 0` or `bins == 0`.
+    pub fn new(width: f64, bins: usize) -> Self {
+        assert!(width > 0.0 && bins > 0, "invalid histogram shape");
+        Histogram {
+            width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record a (non-negative) observation; negatives clamp to bucket 0.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.counts[0] += 1;
+            return;
+        }
+        let idx = (x / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bucket counts (excluding overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`) assuming observations sit at
+    /// bucket midpoints; returns `None` if empty. Observations in the
+    /// overflow bucket are treated as `width · bins`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some((i as f64 + 0.5) * self.width);
+            }
+        }
+        Some(self.width * self.counts.len() as f64)
+    }
+}
+
+/// Batch-means estimator: splits a sample stream into `num_batches`
+/// equally sized batches and reports a Student-t confidence interval for
+/// the steady-state mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Accumulate batches of `batch_size` observations each.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (`None` until one completes).
+    pub fn mean(&self) -> Option<f64> {
+        if self.batch_means.is_empty() {
+            None
+        } else {
+            Some(self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64)
+        }
+    }
+
+    /// Approximate 95 % confidence half-width using a normal critical
+    /// value (adequate for ≥ 10 batches). `None` with fewer than 2 batches.
+    pub fn half_width_95(&self) -> Option<f64> {
+        let n = self.batch_means.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Some(1.96 * (var / n as f64).sqrt())
+    }
+}
+
+/// Convenience: mean of a duration sample expressed in seconds.
+pub fn mean_duration_secs(durations: &[Duration]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    durations.iter().map(|d| d.as_secs_f64()).sum::<f64>() / durations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let mut w = Welford::new();
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_defaults() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_millis(10), 1.0); // 0 for 10ms
+        tw.set(SimTime::from_millis(30), 0.0); // 1 for 20ms
+        // average over 40ms: (0*10 + 1*20 + 0*10)/40 = 0.5
+        assert!((tw.average(SimTime::from_millis(40)) - 0.5).abs() < 1e-12);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.add(SimTime::from_millis(5), 3.0);
+        assert_eq!(tw.current(), 5.0);
+        // (2*5 + 5*5) / 10 = 3.5
+        assert!((tw.average(SimTime::from_millis(10)) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // uniform on [0, 10)
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 4.5).abs() <= 1.0, "median {median}");
+    }
+
+    #[test]
+    fn histogram_overflow() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(5.0);
+        h.record(-1.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn batch_means_interval_shrinks() {
+        let mut bm = BatchMeans::new(10);
+        let mut r = crate::rng::Xoshiro256::seed_from_u64(1);
+        for _ in 0..1000 {
+            bm.push(r.next_f64());
+        }
+        assert_eq!(bm.batches(), 100);
+        let mean = bm.mean().unwrap();
+        assert!((mean - 0.5).abs() < 0.05);
+        let hw = bm.half_width_95().unwrap();
+        assert!(hw < 0.05, "half width {hw}");
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches() {
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..150 {
+            bm.push(1.0);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert_eq!(bm.mean(), Some(1.0));
+        assert_eq!(bm.half_width_95(), None);
+    }
+
+    #[test]
+    fn mean_duration_secs_works() {
+        let ds = [Duration::from_millis(1000), Duration::from_millis(3000)];
+        assert!((mean_duration_secs(&ds) - 2.0).abs() < 1e-12);
+        assert_eq!(mean_duration_secs(&[]), 0.0);
+    }
+}

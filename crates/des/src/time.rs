@@ -1,0 +1,297 @@
+//! Simulated time.
+//!
+//! The paper's simulator advances in integer clocks with `1 clock = 1 ms`.
+//! We keep the same resolution: [`SimTime`] is an absolute instant in
+//! milliseconds since simulation start, [`Duration`] a span in milliseconds.
+//! Both are thin wrappers over `u64` so arithmetic is exact; fractional
+//! service demands (e.g. a `0.2`-object write step) are rounded to the
+//! nearest millisecond when they are converted to durations, which at
+//! `ObjTime = 1000 ms` preserves the paper's resolution.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute simulated instant, in milliseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The simulation origin (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from a millisecond count.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from a (non-negative) second count.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; simulated time never runs
+    /// backwards, so this indicates a logic error in the caller.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: `earlier` is later than `self`"),
+        )
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// millisecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Duration::from_secs_f64: invalid seconds {s}"
+        );
+        Duration((s * 1000.0).round() as u64)
+    }
+
+    /// Construct from fractional milliseconds, rounding to the nearest
+    /// millisecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "Duration::from_millis_f64: invalid milliseconds {ms}"
+        );
+        Duration(ms.round() as u64)
+    }
+
+    /// Milliseconds in this span.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply the span by an integer factor.
+    pub const fn times(self, n: u64) -> Duration {
+        Duration(self.0 * n)
+    }
+
+    /// Divide the span by an integer divisor (rounding down).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn div_int(self, n: u64) -> Duration {
+        assert!(n != 0, "Duration::div_int by zero");
+        Duration(self.0 / n)
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let t = SimTime::from_secs(3);
+        let d = Duration::from_millis(250);
+        assert_eq!((t + d).as_millis(), 3250);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn since_computes_span() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(175);
+        assert_eq!(b.since(a), Duration::from_millis(75));
+        assert_eq!(b.saturating_since(a).as_millis(), 75);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn since_panics_on_negative_span() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(175);
+        let _ = a.since(b);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_ms() {
+        assert_eq!(Duration::from_secs_f64(0.0005).as_millis(), 1);
+        assert_eq!(Duration::from_secs_f64(0.0004).as_millis(), 0);
+        assert_eq!(Duration::from_secs_f64(1.2).as_millis(), 1200);
+    }
+
+    #[test]
+    fn from_millis_f64_rounds() {
+        assert_eq!(Duration::from_millis_f64(199.6).as_millis(), 200);
+        assert_eq!(Duration::from_millis_f64(0.4).as_millis(), 0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_millis(500);
+        let b = Duration::from_millis(300);
+        assert_eq!(a + b, Duration::from_millis(800));
+        assert_eq!(a - b, Duration::from_millis(200));
+        assert_eq!(a.times(3), Duration::from_millis(1500));
+        assert_eq!(a.div_int(4), Duration::from_millis(125));
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = (1..=4).map(Duration::from_millis).sum();
+        assert_eq!(total.as_millis(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{:?}", Duration::from_millis(42)), "42ms");
+    }
+}

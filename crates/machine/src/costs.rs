@@ -1,0 +1,115 @@
+//! The paper's Table 1: simulation parameters of the machine model.
+//!
+//! All CPU times are spent on the control node (a 4 MIPS processor —
+//! the values below were derived by the authors from instruction counts
+//! of their simulator). `ObjTime` is the time a data-processing node
+//! needs to scan one object (≈ 2.5 MB, one cylinder) at `DD = 1`.
+
+use bds_des::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Every constant of Table 1, in milliseconds where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBook {
+    /// `NumNodes`: number of data-processing nodes (paper: 8).
+    pub num_nodes: u32,
+    /// `netdelay`: network delay time (paper: 0 ms).
+    pub net_delay: Duration,
+    /// `msgtime`: CPU time to send or receive one message (paper: 2 ms).
+    pub msg_time: Duration,
+    /// `sot_time`: CPU time of transaction startup (paper: 2 ms).
+    pub sot_time: Duration,
+    /// `cot_time`: CPU time of commitment — the CN acts as two-phase
+    /// commit coordinator (paper: 7 ms).
+    pub cot_time: Duration,
+    /// `ddtime`: CPU time of deadlock detection in C2PL (paper: 1 ms).
+    pub dd_time: Duration,
+    /// `kwtpgtime`: CPU time of computing `E(q)` in LOW (paper: 10 ms).
+    pub kwtpg_time: Duration,
+    /// `chaintime`: CPU time of computing the optimized serializable
+    /// order in GOW (paper: 30 ms).
+    pub chain_time: Duration,
+    /// `toptime`: CPU time of the chain-form test in GOW (paper: 5 ms).
+    pub top_time: Duration,
+    /// `ObjTime`: time to process one object at a DPN at `DD = 1`
+    /// (paper: 1000 ms — a 4 MIPS processor per 2.5 MB/s disk).
+    pub obj_time: Duration,
+}
+
+impl Default for CostBook {
+    fn default() -> Self {
+        CostBook {
+            num_nodes: 8,
+            net_delay: Duration::from_millis(0),
+            msg_time: Duration::from_millis(2),
+            sot_time: Duration::from_millis(2),
+            cot_time: Duration::from_millis(7),
+            dd_time: Duration::from_millis(1),
+            kwtpg_time: Duration::from_millis(10),
+            chain_time: Duration::from_millis(30),
+            top_time: Duration::from_millis(5),
+            obj_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl CostBook {
+    /// Execution time of a cohort scanning `objects` objects, i.e.
+    /// `objects · ObjTime` rounded to the millisecond.
+    pub fn scan_time(&self, objects: f64) -> Duration {
+        assert!(
+            objects.is_finite() && objects >= 0.0,
+            "invalid object count {objects}"
+        );
+        Duration::from_millis_f64(objects * self.obj_time.as_millis() as f64)
+    }
+
+    /// Round-robin service quantum at declustering degree `dd`: the time
+    /// to scan `1/dd` object.
+    ///
+    /// # Panics
+    /// Panics if `dd == 0`.
+    pub fn quantum(&self, dd: u32) -> Duration {
+        assert!(dd > 0, "declustering degree must be positive");
+        Duration::from_millis_f64(self.obj_time.as_millis() as f64 / dd as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = CostBook::default();
+        assert_eq!(c.num_nodes, 8);
+        assert_eq!(c.net_delay.as_millis(), 0);
+        assert_eq!(c.msg_time.as_millis(), 2);
+        assert_eq!(c.sot_time.as_millis(), 2);
+        assert_eq!(c.cot_time.as_millis(), 7);
+        assert_eq!(c.dd_time.as_millis(), 1);
+        assert_eq!(c.kwtpg_time.as_millis(), 10);
+        assert_eq!(c.chain_time.as_millis(), 30);
+        assert_eq!(c.top_time.as_millis(), 5);
+        assert_eq!(c.obj_time.as_millis(), 1000);
+    }
+
+    #[test]
+    fn scan_time_scales_with_objects() {
+        let c = CostBook::default();
+        assert_eq!(c.scan_time(5.0).as_millis(), 5000);
+        assert_eq!(c.scan_time(0.2).as_millis(), 200);
+        assert_eq!(c.scan_time(0.0).as_millis(), 0);
+        // 5 objects split over DD=8 cohorts: 0.625 objects each.
+        assert_eq!(c.scan_time(5.0 / 8.0).as_millis(), 625);
+    }
+
+    #[test]
+    fn quantum_divides_obj_time() {
+        let c = CostBook::default();
+        assert_eq!(c.quantum(1).as_millis(), 1000);
+        assert_eq!(c.quantum(2).as_millis(), 500);
+        assert_eq!(c.quantum(4).as_millis(), 250);
+        assert_eq!(c.quantum(8).as_millis(), 125);
+    }
+}

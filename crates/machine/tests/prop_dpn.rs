@@ -1,0 +1,113 @@
+//! Property tests for the DPN round-robin server: work conservation,
+//! completion-time bounds and busy-time accounting.
+
+use bds_des::time::{Duration, SimTime};
+use bds_machine::{Cohort, CohortId, Dpn};
+use proptest::prelude::*;
+
+/// Drive the DPN to idleness, returning (id, finish time) pairs.
+fn drain(dpn: &mut Dpn, mut next: Option<SimTime>) -> Vec<(CohortId, SimTime)> {
+    let mut out = Vec::new();
+    let mut guard = 0u32;
+    while let Some(t) = next {
+        let o = dpn.on_slice_end(t);
+        if let Some(id) = o.finished {
+            out.push((id, t));
+        }
+        next = o.next_slice_end;
+        guard += 1;
+        assert!(guard < 1_000_000, "slice loop did not terminate");
+    }
+    out
+}
+
+fn arb_cohorts() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (remaining ms, quantum ms)
+    prop::collection::vec((1u64..8000, 100u64..2000), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn work_conservation(cohorts in arb_cohorts()) {
+        let mut dpn = Dpn::new();
+        let mut first = None;
+        for (i, &(rem, q)) in cohorts.iter().enumerate() {
+            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
+                id: CohortId(i as u64),
+                remaining: Duration::from_millis(rem),
+                quantum: Duration::from_millis(q),
+            });
+            if let Some(t) = r { first = Some(t); }
+        }
+        let finished = drain(&mut dpn, first);
+        prop_assert_eq!(finished.len(), cohorts.len());
+        // Work conservation: the node never idles while work remains, so
+        // the last completion equals total work.
+        let total: u64 = cohorts.iter().map(|&(rem, _)| rem).sum();
+        let makespan = finished.last().unwrap().1;
+        prop_assert_eq!(makespan, SimTime::from_millis(total));
+        prop_assert_eq!(dpn.busy_time(), Duration::from_millis(total));
+        prop_assert!(dpn.is_idle());
+        prop_assert_eq!(dpn.completed(), cohorts.len() as u64);
+    }
+
+    #[test]
+    fn completion_bounds(cohorts in arb_cohorts()) {
+        // Every cohort finishes no earlier than its own work and no later
+        // than the total work.
+        let mut dpn = Dpn::new();
+        let mut first = None;
+        for (i, &(rem, q)) in cohorts.iter().enumerate() {
+            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
+                id: CohortId(i as u64),
+                remaining: Duration::from_millis(rem),
+                quantum: Duration::from_millis(q),
+            });
+            if let Some(t) = r { first = Some(t); }
+        }
+        let total: u64 = cohorts.iter().map(|&(rem, _)| rem).sum();
+        for (id, at) in drain(&mut dpn, first) {
+            let own = cohorts[id.0 as usize].0;
+            prop_assert!(at >= SimTime::from_millis(own));
+            prop_assert!(at <= SimTime::from_millis(total));
+        }
+    }
+
+    #[test]
+    fn equal_cohorts_finish_in_arrival_order(n in 2usize..12, work in 500u64..4000) {
+        let mut dpn = Dpn::new();
+        let mut first = None;
+        for i in 0..n {
+            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
+                id: CohortId(i as u64),
+                remaining: Duration::from_millis(work),
+                quantum: Duration::from_millis(250),
+            });
+            if let Some(t) = r { first = Some(t); }
+        }
+        let finished = drain(&mut dpn, first);
+        let order: Vec<u64> = finished.iter().map(|(c, _)| c.0).collect();
+        let expect: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(order, expect, "equal work must preserve FIFO fairness");
+    }
+
+    #[test]
+    fn utilization_is_one_while_busy(cohorts in arb_cohorts()) {
+        let mut dpn = Dpn::new();
+        let mut first = None;
+        for (i, &(rem, q)) in cohorts.iter().enumerate() {
+            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
+                id: CohortId(i as u64),
+                remaining: Duration::from_millis(rem),
+                quantum: Duration::from_millis(q),
+            });
+            if let Some(t) = r { first = Some(t); }
+        }
+        let finished = drain(&mut dpn, first);
+        let makespan = finished.last().unwrap().1;
+        let u = dpn.utilization(makespan);
+        prop_assert!((u - 1.0).abs() < 1e-9, "utilization {u} during saturation");
+    }
+}

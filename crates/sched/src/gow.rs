@@ -1,0 +1,261 @@
+//! GOW — Globally-Optimized WTPG scheduler (the paper's Fig. 4; called
+//! the Chain-WTPG scheduler in \[13\]).
+//!
+//! * **Phase 0** (admission): a new transaction may start only if the
+//!   WTPG stays *chain-form* — the conflict graph remains a disjoint
+//!   union of simple paths. Costs `toptime` per test.
+//! * **Phase 1**: a request conflicting with a held lock is blocked.
+//! * **Phase 2**: compute the full serializable order `W` minimizing the
+//!   WTPG critical path (the chain dynamic program). Costs `chaintime`.
+//! * **Phase 3**: granting the request implies orientations `Ti → Tj`
+//!   toward every live conflicting declarer of the file; the request is
+//!   granted only if those orientations are consistent with an optimal
+//!   `W` — i.e. forcing them still achieves the optimal critical path.
+//!   Otherwise the request is delayed.
+//! * **Phase 4**: apply the newly determined precedence edges.
+
+use crate::lock_table::LockTable;
+use crate::wtpg_core::WtpgCore;
+use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use bds_des::time::Duration;
+use bds_workload::{BatchSpec, FileId};
+use bds_wtpg::chain;
+use bds_wtpg::TxnId;
+
+/// The GOW scheduler.
+#[derive(Debug, Default)]
+pub struct Gow {
+    core: WtpgCore,
+    table: LockTable,
+    chain_time: Duration,
+    top_time: Duration,
+    /// Admission refusals due to the chain-form constraint (statistic).
+    chain_refusals: u64,
+}
+
+impl Gow {
+    /// Create with Table 1 costs: `chaintime` (30 ms) for the order
+    /// optimization and `toptime` (5 ms) for the chain-form test.
+    pub fn new(chain_time: Duration, top_time: Duration) -> Self {
+        Gow {
+            core: WtpgCore::new(),
+            table: LockTable::new(),
+            chain_time,
+            top_time,
+            chain_refusals: 0,
+        }
+    }
+
+    /// Number of chain-form admission refusals so far.
+    pub fn chain_refusals(&self) -> u64 {
+        self.chain_refusals
+    }
+}
+
+impl Scheduler for Gow {
+    fn name(&self) -> &'static str {
+        "GOW"
+    }
+
+    fn register(&mut self, id: TxnId, spec: BatchSpec) {
+        self.core.register(id, spec);
+    }
+
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
+        // Phase 0: chain-form test against the would-be conflict set.
+        let conflicts: Vec<TxnId> = {
+            let spec = self.core.spec(id);
+            self.core
+                .graph
+                .txns()
+                .filter(|&other| other != id)
+                .filter(|&other| {
+                    bds_workload::conflict::conflicts(spec, self.core.spec(other))
+                })
+                .collect()
+        };
+        if !chain::accepts_new_txn(&self.core.graph, &conflicts) {
+            self.chain_refusals += 1;
+            return Outcome::costed(StartDecision::Refuse, self.top_time);
+        }
+        self.core.add_live(id, &self.table);
+        debug_assert!(chain::is_chain_form(&self.core.graph));
+        Outcome::costed(StartDecision::Admit, self.top_time)
+    }
+
+    fn request(&mut self, id: TxnId, step: usize) -> Outcome<ReqDecision> {
+        let s = self.core.spec(id).steps[step];
+        // Phase 1: conflicts with the current lock held on the file.
+        if !self.table.can_grant(id, s.file, s.mode) {
+            return Outcome::free(ReqDecision::Blocked);
+        }
+        let orientations = self.core.implied_orientations(id, s.file, s.mode);
+        // Decided-adverse pairs make the grant non-serializable outright.
+        let declarers = self.core.conflicting_declarers(id, s.file, s.mode);
+        let adverse = declarers
+            .iter()
+            .any(|&other| self.core.graph.is_decided(other, id));
+        if orientations.is_empty() && !adverse {
+            // Nothing to decide: grant without running the optimizer.
+            self.table.grant(id, s.file, s.mode);
+            return Outcome::free(ReqDecision::Granted);
+        }
+        // Phase 2: the globally optimal order's critical path…
+        let optimal = chain::min_critical(&self.core.graph, &[]);
+        // Phase 3: …must still be achievable with the grant's
+        // orientations forced.
+        let forced = if adverse {
+            f64::INFINITY
+        } else {
+            chain::min_critical(&self.core.graph, &orientations)
+        };
+        if forced > optimal + 1e-9 {
+            return Outcome::costed(ReqDecision::Delayed, self.chain_time);
+        }
+        // Phase 4: grant and enforce the decided edges.
+        self.table.grant(id, s.file, s.mode);
+        self.core.apply_orientations(&orientations);
+        Outcome::costed(ReqDecision::Granted, self.chain_time)
+    }
+
+    fn step_complete(&mut self, id: TxnId, step: usize) {
+        self.core.step_complete(id, step);
+    }
+
+    fn validate(&mut self, _id: TxnId) -> Outcome<bool> {
+        Outcome::free(true)
+    }
+
+    fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        self.core.remove(id);
+        self.table.release_all(id)
+    }
+
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        self.core.remove_live_only(id);
+        self.table.release_all(id)
+    }
+
+    fn live_count(&self) -> usize {
+        self.core.live_count()
+    }
+
+    fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        self.core.drain_constraints()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_workload::spec::Step;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+    fn gow() -> Gow {
+        Gow::new(Duration::from_millis(30), Duration::from_millis(5))
+    }
+    fn w(file: FileId, cost: f64) -> Step {
+        Step::write(file, cost)
+    }
+
+    #[test]
+    fn admission_enforces_chain_form() {
+        let mut s = gow();
+        // Three transactions all updating F0: a triangle of conflicts.
+        for i in 1..=3 {
+            s.register(t(i), BatchSpec::new(vec![w(f(0), 1.0)]));
+        }
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+        // T3 would conflict with both T1 and T2 which are already
+        // adjacent — the conflict graph would become a triangle.
+        assert_eq!(s.try_start(t(3)).decision, StartDecision::Refuse);
+        assert_eq!(s.chain_refusals(), 1);
+        // Admission costs toptime.
+        assert_eq!(s.try_start(t(3)).cpu, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn grant_consistent_with_optimum() {
+        // Two transactions conflicting on F0. T1 cheap-first: the
+        // optimal order is T1 → T2 when T2's remaining-after-block cost
+        // is smaller than T1's.
+        let mut s = gow();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 5.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(2), 5.0), w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        // Weights: w(T1→T2) = T2 declared from its step 1 = 1.
+        //          w(T2→T1) = T1 declared from its step 0 = 6.
+        // Optimal: critical(T1→T2) = max(6, 6+1) = 7;
+        //          critical(T2→T1) = max(6, 6+6) = 12 → W = {T1→T2}.
+        let o = s.request(t(1), 0);
+        assert_eq!(o.decision, ReqDecision::Granted);
+        assert_eq!(o.cpu, Duration::from_millis(30));
+        // T2's later request for F0 conflicts with the held lock: blocked.
+        assert_eq!(s.request(t(2), 1).decision, ReqDecision::Blocked);
+    }
+
+    #[test]
+    fn inconsistent_grant_is_delayed() {
+        let mut s = gow();
+        // Mirror of the above: now T2 requests first, but granting T2
+        // the lock on F0 would force T2 → T1 whose critical path is
+        // worse than the optimum → delayed.
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 5.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(2), 5.0), w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        let o = s.request(t(2), 1);
+        assert_eq!(o.decision, ReqDecision::Delayed);
+        // After T1 takes and finishes with F0 the order is decided
+        // T1 → T2; once T1 commits, T2's request succeeds.
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        s.commit(t(1));
+        assert_eq!(s.request(t(2), 1).decision, ReqDecision::Granted);
+    }
+
+    #[test]
+    fn non_conflicting_requests_grant_without_optimizer() {
+        let mut s = gow();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(1));
+        let o = s.request(t(1), 0);
+        assert_eq!(o.decision, ReqDecision::Granted);
+        assert!(o.cpu.is_zero(), "no conflicts → no chaintime");
+    }
+
+    #[test]
+    fn serializable_constraints() {
+        let mut s = gow();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(1), 2.0), w(f(2), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        let _ = s.request(t(1), 0);
+        let _ = s.request(t(2), 0);
+        let _ = s.request(t(1), 1);
+        s.commit(t(1));
+        s.commit(t(2));
+        let cs = s.drain_constraints();
+        assert!(bds_wtpg::oracle::is_serializable(&cs), "{cs:?}");
+    }
+
+    #[test]
+    fn chain_extension_at_endpoints_is_accepted() {
+        let mut s = gow();
+        // T1-T2 conflict on F0; T3 conflicts with T2 on F1 (an endpoint).
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.register(t(3), BatchSpec::new(vec![w(f(1), 1.0)]));
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+        assert_eq!(s.try_start(t(3)).decision, StartDecision::Admit);
+        assert_eq!(s.live_count(), 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! # bds-sched — concurrency-control schedulers for batch transactions
+//!
+//! The six schedulers evaluated by the paper, behind one [`Scheduler`]
+//! trait driven by the `batchsched` simulator:
+//!
+//! | Scheduler | Module | Strategy |
+//! |-----------|--------|----------|
+//! | NODC | [`nodc`] | grant everything (performance upper bound) |
+//! | ASL  | [`asl`]  | atomic static locking: all locks at start |
+//! | C2PL | [`c2pl`] | cautious 2PL: block, but never toward deadlock |
+//! | OPT  | [`opt`]  | optimistic: no locks, certify at commit |
+//! | GOW  | [`gow`]  | chain-form WTPG, globally optimized order |
+//! | LOW  | [`low`]  | K-conflict WTPG, locally optimized `E(q)` |
+//!
+//! (`C2PL+M` is C2PL run under a finite multiprogramming level; the
+//! throttle lives in the simulator, not here.)
+//!
+//! Every scheduler decision reports the control-node CPU time it costs
+//! (Table 1: `ddtime`, `kwtpgtime`, `chaintime`, `toptime`), which the
+//! simulator serializes through the CN's FCFS CPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asl;
+pub mod c2pl;
+pub mod gow;
+pub mod lock_table;
+pub mod low;
+pub mod nodc;
+pub mod opt;
+pub mod wdl;
+pub mod wtpg_core;
+
+use bds_des::time::Duration;
+use bds_machine::CostBook;
+use bds_workload::{BatchSpec, FileId};
+use bds_wtpg::TxnId;
+
+/// Admission decision for a transaction attempting to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartDecision {
+    /// The transaction becomes live and may issue its first lock request.
+    Admit,
+    /// The transaction cannot start now (GOW's chain-form abort, LOW's
+    /// K-conflict refusal, ASL's unavailable lock set); it stays queued
+    /// and is retried later.
+    Refuse,
+}
+
+/// Decision on a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqDecision {
+    /// Lock granted; the step may execute.
+    Granted,
+    /// Conflicts with a currently *held* lock; retry when the file's
+    /// locks are released (the paper's "blocked").
+    Blocked,
+    /// Refused by scheduler policy (deadlock prediction, inconsistency
+    /// with the optimal order, losing the `E(q)` comparison); retried
+    /// after a delay or on a state change (the paper's "delayed").
+    Delayed,
+    /// The requesting transaction must abort and restart from its first
+    /// step (used by restart-oriented protocols such as the wait-depth
+    /// limited extension scheduler; none of the paper's six locking
+    /// protocols restarts).
+    Restart,
+}
+
+/// A decision together with the control-node CPU time it consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome<D> {
+    /// The decision.
+    pub decision: D,
+    /// CPU time to charge on the control node.
+    pub cpu: Duration,
+}
+
+impl<D> Outcome<D> {
+    /// A decision that consumed no measurable CPU.
+    pub fn free(decision: D) -> Self {
+        Outcome {
+            decision,
+            cpu: Duration::ZERO,
+        }
+    }
+
+    /// A decision with a CPU charge.
+    pub fn costed(decision: D, cpu: Duration) -> Self {
+        Outcome { decision, cpu }
+    }
+}
+
+/// The scheduler interface driven by the simulator.
+///
+/// Lifecycle per transaction:
+/// `register` → (`try_start` until `Admit`) → per step needing a lock:
+/// (`request` until `Granted`) → `step_complete` → … → `validate` →
+/// `commit` (or `abort` + later `try_start` again, for OPT restarts).
+pub trait Scheduler {
+    /// Short machine-readable name ("GOW", "LOW", …).
+    fn name(&self) -> &'static str;
+
+    /// Make the transaction's access declaration known. Called once per
+    /// transaction, before any `try_start`.
+    fn register(&mut self, id: TxnId, spec: BatchSpec);
+
+    /// Attempt admission. On [`StartDecision::Admit`] the transaction is
+    /// live (and, for ASL, holds its whole lock set).
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision>;
+
+    /// Lock request for the given step of a live transaction. Only
+    /// called for steps whose lock is not already covered
+    /// ([`BatchSpec::needs_lock_request`]).
+    fn request(&mut self, id: TxnId, step: usize) -> Outcome<ReqDecision>;
+
+    /// The step's scan finished; remaining-demand bookkeeping (the WTPG
+    /// `T0` weights) updates here.
+    fn step_complete(&mut self, id: TxnId, step: usize);
+
+    /// Certification at commit. Locking schedulers always pass; OPT
+    /// validates backward and fails on read/write-set intersection.
+    fn validate(&mut self, id: TxnId) -> Outcome<bool>;
+
+    /// Commit: release all locks, drop the transaction from internal
+    /// structures. Returns the files whose locks were released (the
+    /// simulator wakes their waiters).
+    fn commit(&mut self, id: TxnId) -> Vec<FileId>;
+
+    /// Abort (OPT restart): drop live state but keep the registration so
+    /// the transaction can `try_start` again. Returns released files.
+    fn abort(&mut self, id: TxnId) -> Vec<FileId>;
+
+    /// Number of live (started, uncommitted) transactions.
+    fn live_count(&self) -> usize;
+
+    /// Drain precedence constraints observed since the last call — used
+    /// by serializability tests. Default: none recorded.
+    fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        Vec::new()
+    }
+}
+
+/// Which scheduler to run — the paper's six (C2PL+M is C2PL plus a
+/// simulator-level mpl cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// No data contention (upper bound).
+    Nodc,
+    /// Atomic static locking.
+    Asl,
+    /// Cautious two-phase locking.
+    C2pl,
+    /// Optimistic locking.
+    Opt,
+    /// Globally-Optimized WTPG scheduler.
+    Gow,
+    /// Locally-Optimized WTPG scheduler with the given K (paper: K = 2).
+    Low(u32),
+    /// Wait-Depth Limited locking (extension beyond the paper): block
+    /// only when no conflicting holder is itself waiting, restart the
+    /// requester otherwise — bounds blocking chains to depth 1 at the
+    /// price of rollbacks.
+    Wdl,
+}
+
+impl SchedulerKind {
+    /// All six schedulers as evaluated in the paper (LOW with K = 2).
+    pub const PAPER_SET: [SchedulerKind; 6] = [
+        SchedulerKind::Nodc,
+        SchedulerKind::Asl,
+        SchedulerKind::Gow,
+        SchedulerKind::Low(2),
+        SchedulerKind::C2pl,
+        SchedulerKind::Opt,
+    ];
+
+    /// Instantiate the scheduler with the given cost book.
+    pub fn build(self, costs: &CostBook) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Nodc => Box::new(nodc::Nodc::new()),
+            SchedulerKind::Asl => Box::new(asl::Asl::new()),
+            SchedulerKind::C2pl => Box::new(c2pl::C2pl::new(costs.dd_time)),
+            SchedulerKind::Opt => Box::new(opt::Opt::new()),
+            SchedulerKind::Gow => {
+                Box::new(gow::Gow::new(costs.chain_time, costs.top_time))
+            }
+            SchedulerKind::Low(k) => Box::new(low::Low::new(k, costs.kwtpg_time)),
+            SchedulerKind::Wdl => Box::new(wdl::Wdl::new(costs.dd_time)),
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> String {
+        match self {
+            SchedulerKind::Nodc => "NODC".into(),
+            SchedulerKind::Asl => "ASL".into(),
+            SchedulerKind::C2pl => "C2PL".into(),
+            SchedulerKind::Opt => "OPT".into(),
+            SchedulerKind::Gow => "GOW".into(),
+            SchedulerKind::Low(2) => "LOW".into(),
+            SchedulerKind::Low(k) => format!("LOW(K={k})"),
+            SchedulerKind::Wdl => "WDL".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}

@@ -1,0 +1,219 @@
+//! File-granularity S/X lock table.
+//!
+//! The control node keeps one lock per file (the paper's locking
+//! granule). Locks are held until commitment (strictness); upgrades from
+//! S to X are permitted when the requester is the sole holder.
+//!
+//! The table implements *state*, not *policy*: whether a conflicting
+//! request blocks, is delayed, or aborts is each scheduler's decision.
+
+use bds_workload::{FileId, LockMode};
+use bds_wtpg::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The lock table.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    holders: BTreeMap<FileId, BTreeMap<TxnId, LockMode>>,
+    by_txn: BTreeMap<TxnId, BTreeSet<FileId>>,
+}
+
+impl LockTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// The mode `txn` currently holds on `file`, if any.
+    pub fn mode_held(&self, txn: TxnId, file: FileId) -> Option<LockMode> {
+        self.holders.get(&file).and_then(|h| h.get(&txn)).copied()
+    }
+
+    /// Does `txn` hold a lock on `file` covering `mode`?
+    pub fn holds_sufficient(&self, txn: TxnId, file: FileId, mode: LockMode) -> bool {
+        self.mode_held(txn, file).is_some_and(|m| m.covers(mode))
+    }
+
+    /// Can `txn` be granted `mode` on `file` right now? True when every
+    /// *other* holder is compatible (so an S→X upgrade succeeds iff the
+    /// requester is the only holder).
+    pub fn can_grant(&self, txn: TxnId, file: FileId, mode: LockMode) -> bool {
+        match self.holders.get(&file) {
+            None => true,
+            Some(h) => h
+                .iter()
+                .all(|(&t, &m)| t == txn || m.compatible(mode)),
+        }
+    }
+
+    /// Grant `mode` on `file` to `txn` (upgrading if it already holds a
+    /// weaker mode).
+    ///
+    /// # Panics
+    /// Panics if the grant is incompatible — callers must check
+    /// [`LockTable::can_grant`] first.
+    pub fn grant(&mut self, txn: TxnId, file: FileId, mode: LockMode) {
+        assert!(
+            self.can_grant(txn, file, mode),
+            "incompatible grant: {txn:?} wants {mode:?} on {file:?}"
+        );
+        let h = self.holders.entry(file).or_default();
+        let entry = h.entry(txn).or_insert(mode);
+        *entry = entry.max(mode);
+        self.by_txn.entry(txn).or_default().insert(file);
+    }
+
+    /// Release every lock `txn` holds; returns the affected files.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<FileId> {
+        let files = self.by_txn.remove(&txn).unwrap_or_default();
+        let mut released = Vec::with_capacity(files.len());
+        for file in files {
+            if let Some(h) = self.holders.get_mut(&file) {
+                h.remove(&txn);
+                if h.is_empty() {
+                    self.holders.remove(&file);
+                }
+            }
+            released.push(file);
+        }
+        released
+    }
+
+    /// Current holders of `file` with their modes, in id order.
+    pub fn holders(&self, file: FileId) -> Vec<(TxnId, LockMode)> {
+        self.holders
+            .get(&file)
+            .map(|h| h.iter().map(|(&t, &m)| (t, m)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Holders of `file` whose mode conflicts with `mode`, excluding
+    /// `txn` itself.
+    pub fn conflicting_holders(
+        &self,
+        txn: TxnId,
+        file: FileId,
+        mode: LockMode,
+    ) -> Vec<TxnId> {
+        self.holders
+            .get(&file)
+            .map(|h| {
+                h.iter()
+                    .filter(|(&t, &m)| t != txn && !m.compatible(mode))
+                    .map(|(&t, _)| t)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Files held by `txn`.
+    pub fn files_of(&self, txn: TxnId) -> Vec<FileId> {
+        self.by_txn
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of (txn, file) lock entries.
+    pub fn total_locks(&self) -> usize {
+        self.holders.values().map(|h| h.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{Exclusive, Shared};
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        assert!(lt.can_grant(t(1), f(0), Shared));
+        lt.grant(t(1), f(0), Shared);
+        assert!(lt.can_grant(t(2), f(0), Shared));
+        lt.grant(t(2), f(0), Shared);
+        assert_eq!(lt.holders(f(0)).len(), 2);
+        assert!(!lt.can_grant(t(3), f(0), Exclusive));
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Exclusive);
+        assert!(!lt.can_grant(t(2), f(0), Shared));
+        assert!(!lt.can_grant(t(2), f(0), Exclusive));
+        // The holder itself is always compatible with its own lock.
+        assert!(lt.can_grant(t(1), f(0), Exclusive));
+        assert_eq!(lt.conflicting_holders(t(2), f(0), Shared), vec![t(1)]);
+        assert!(lt.conflicting_holders(t(1), f(0), Exclusive).is_empty());
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Shared);
+        assert!(lt.can_grant(t(1), f(0), Exclusive));
+        lt.grant(t(1), f(0), Exclusive);
+        assert_eq!(lt.mode_held(t(1), f(0)), Some(Exclusive));
+        assert!(lt.holds_sufficient(t(1), f(0), Shared));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_sharer() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Shared);
+        lt.grant(t(2), f(0), Shared);
+        assert!(!lt.can_grant(t(1), f(0), Exclusive));
+    }
+
+    #[test]
+    fn release_all_frees_files() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Exclusive);
+        lt.grant(t(1), f(3), Shared);
+        lt.grant(t(2), f(3), Shared);
+        let mut released = lt.release_all(t(1));
+        released.sort_unstable();
+        assert_eq!(released, vec![f(0), f(3)]);
+        assert!(lt.can_grant(t(9), f(0), Exclusive));
+        // t2 still shares f3.
+        assert!(!lt.can_grant(t(9), f(3), Exclusive));
+        assert_eq!(lt.total_locks(), 1);
+        assert!(lt.release_all(t(1)).is_empty(), "double release is a no-op");
+    }
+
+    #[test]
+    fn grant_is_idempotent_at_same_mode() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Exclusive);
+        lt.grant(t(1), f(0), Exclusive);
+        assert_eq!(lt.total_locks(), 1);
+        // Re-granting weaker keeps the stronger mode.
+        lt.grant(t(1), f(0), Shared);
+        assert_eq!(lt.mode_held(t(1), f(0)), Some(Exclusive));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible grant")]
+    fn incompatible_grant_panics() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Exclusive);
+        lt.grant(t(2), f(0), Shared);
+    }
+
+    #[test]
+    fn files_of_lists_holdings() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(2), Shared);
+        lt.grant(t(1), f(7), Exclusive);
+        assert_eq!(lt.files_of(t(1)), vec![f(2), f(7)]);
+        assert!(lt.files_of(t(2)).is_empty());
+    }
+}

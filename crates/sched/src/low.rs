@@ -1,0 +1,346 @@
+//! LOW — Locally-Optimized WTPG scheduler (the paper's Fig. 7; called
+//! the K-conflict WTPG scheduler in \[13\]).
+//!
+//! LOW relaxes GOW's chain-form constraint: any conflict graph is
+//! allowed as long as no access-declaration conflicts with more than
+//! `K` other declarations on the same file (the paper evaluates K = 2).
+//! On a lock request `q` it computes the *local* contention estimate
+//! `E(q)` — the WTPG critical path after tentatively granting `q`
+//! (deadlock ⇒ ∞) — and grants `q` only if `E(q) ≤ E(p)` for every
+//! conflicting declaration `p` on the same file; otherwise the lock
+//! should rather go to the transaction declaring the cheaper `p`, and
+//! `q` is delayed. Each `E(·)` evaluation costs `kwtpgtime`.
+
+use crate::lock_table::LockTable;
+use crate::wtpg_core::WtpgCore;
+use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use bds_des::time::Duration;
+use bds_workload::{BatchSpec, FileId, LockMode};
+use bds_wtpg::{eq, paths, TxnId};
+
+/// The LOW scheduler.
+#[derive(Debug, Default)]
+pub struct Low {
+    core: WtpgCore,
+    table: LockTable,
+    k: u32,
+    kwtpg_time: Duration,
+    k_refusals: u64,
+}
+
+impl Low {
+    /// Create with the conflict bound `K` (paper: 2) and `kwtpgtime`
+    /// (10 ms) per `E(·)` evaluation.
+    pub fn new(k: u32, kwtpg_time: Duration) -> Self {
+        Low {
+            core: WtpgCore::new(),
+            table: LockTable::new(),
+            k,
+            kwtpg_time,
+            k_refusals: 0,
+        }
+    }
+
+    /// Number of K-conflict admission refusals so far.
+    pub fn k_refusals(&self) -> u64 {
+        self.k_refusals
+    }
+
+    /// Would admitting `id` violate the K-conflict bound for any
+    /// declaration (the candidate's or a live transaction's)?
+    fn violates_k(&self, id: TxnId) -> bool {
+        let spec = self.core.spec(id);
+        for (file, mode) in spec.lock_set() {
+            let mut count = 0u32;
+            for other in self.core.graph.txns() {
+                if other == id {
+                    continue;
+                }
+                if let Some(m) = self.core.spec(other).mode_on(file) {
+                    if !m.compatible(mode) {
+                        count += 1;
+                        // The other side's declaration also gains a
+                        // conflicting partner; its own count must stay
+                        // within K too.
+                        let other_count = self
+                            .core
+                            .conflicting_declarers(other, file, m)
+                            .len() as u32
+                            + 1;
+                        if other_count > self.k {
+                            return true;
+                        }
+                    }
+                }
+            }
+            if count > self.k {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The orientations implied by granting a lock of `mode` on `file`
+    /// to `who` (toward every conflicting declarer, decided or not —
+    /// `eval_grant` maps decided-adverse pairs to ∞).
+    fn grant_orientations(
+        &self,
+        who: TxnId,
+        file: FileId,
+        mode: LockMode,
+    ) -> Vec<(TxnId, TxnId)> {
+        self.core
+            .conflicting_declarers(who, file, mode)
+            .into_iter()
+            .map(|other| (who, other))
+            .collect()
+    }
+}
+
+impl Scheduler for Low {
+    fn name(&self) -> &'static str {
+        "LOW"
+    }
+
+    fn register(&mut self, id: TxnId, spec: BatchSpec) {
+        self.core.register(id, spec);
+    }
+
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
+        if self.violates_k(id) {
+            self.k_refusals += 1;
+            return Outcome::free(StartDecision::Refuse);
+        }
+        self.core.add_live(id, &self.table);
+        Outcome::free(StartDecision::Admit)
+    }
+
+    fn request(&mut self, id: TxnId, step: usize) -> Outcome<ReqDecision> {
+        let s = self.core.spec(id).steps[step];
+        // Phase 1: conflicts with the current lock held on the file.
+        if !self.table.can_grant(id, s.file, s.mode) {
+            return Outcome::free(ReqDecision::Blocked);
+        }
+        let declarers = self.core.conflicting_declarers(id, s.file, s.mode);
+        if declarers.is_empty() {
+            // No contention on this file at all: grant for free.
+            self.table.grant(id, s.file, s.mode);
+            return Outcome::free(ReqDecision::Granted);
+        }
+        // Phase 2: E(q).
+        let mut cpu = self.kwtpg_time;
+        let orientations_q = self.grant_orientations(id, s.file, s.mode);
+        let e_q = eq::eval_grant(&self.core.graph, &orientations_q);
+        if e_q.is_infinite() {
+            // Granting q would deadlock (or contradict a decided order).
+            return Outcome::costed(ReqDecision::Delayed, cpu);
+        }
+        // Phase 3: E(p) for each conflicting declaration p on the file,
+        // capped at K competitors (deterministically: smallest ids).
+        for &other in declarers.iter().take(self.k as usize) {
+            // Skip declarations whose order against `id` is already
+            // decided `id → other` — they can no longer win the lock
+            // first.
+            if self.core.graph.is_decided(id, other) {
+                continue;
+            }
+            let other_mode = self
+                .core
+                .spec(other)
+                .mode_on(s.file)
+                .expect("declarer must declare the file");
+            let orientations_p = self.grant_orientations(other, s.file, other_mode);
+            let e_p = eq::eval_grant(&self.core.graph, &orientations_p);
+            cpu += self.kwtpg_time;
+            if e_q > e_p + 1e-9 {
+                return Outcome::costed(ReqDecision::Delayed, cpu);
+            }
+        }
+        // Phase 4: grant, orient, propagate forced pairs (Fig. 6).
+        self.table.grant(id, s.file, s.mode);
+        let undecided: Vec<(TxnId, TxnId)> = orientations_q
+            .into_iter()
+            .filter(|&(from, to)| !self.core.graph.is_decided(from, to))
+            .collect();
+        self.core.apply_orientations(&undecided);
+        paths::propagate(&mut self.core.graph)
+            .expect("E(q) was finite, propagation cannot contradict");
+        Outcome::costed(ReqDecision::Granted, cpu)
+    }
+
+    fn step_complete(&mut self, id: TxnId, step: usize) {
+        self.core.step_complete(id, step);
+    }
+
+    fn validate(&mut self, _id: TxnId) -> Outcome<bool> {
+        Outcome::free(true)
+    }
+
+    fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        self.core.remove(id);
+        self.table.release_all(id)
+    }
+
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        self.core.remove_live_only(id);
+        self.table.release_all(id)
+    }
+
+    fn live_count(&self) -> usize {
+        self.core.live_count()
+    }
+
+    fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        self.core.drain_constraints()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_workload::spec::Step;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+    fn low(k: u32) -> Low {
+        Low::new(k, Duration::from_millis(10))
+    }
+    fn w(file: FileId, cost: f64) -> Step {
+        Step::write(file, cost)
+    }
+
+    #[test]
+    fn k_limit_bounds_admission() {
+        let mut s = low(2);
+        for i in 1..=4 {
+            s.register(t(i), BatchSpec::new(vec![w(f(0), 1.0)]));
+        }
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+        assert_eq!(s.try_start(t(3)).decision, StartDecision::Admit);
+        // A fourth X-declarer would give everyone 3 conflicting
+        // declarations (> K = 2).
+        assert_eq!(s.try_start(t(4)).decision, StartDecision::Refuse);
+        assert_eq!(s.k_refusals(), 1);
+    }
+
+    #[test]
+    fn k1_still_allows_non_chain_graphs() {
+        // The paper: "Even at K=1, LOW allows a non chain-form WTPG."
+        // A star: center conflicts once per file with three leaves, each
+        // on a different file, so every declaration has exactly 1
+        // conflict.
+        let mut s = low(1);
+        s.register(
+            t(1),
+            BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0), w(f(2), 1.0)]),
+        );
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(3), BatchSpec::new(vec![w(f(1), 1.0)]));
+        s.register(t(4), BatchSpec::new(vec![w(f(2), 1.0)]));
+        for i in 1..=4 {
+            assert_eq!(
+                s.try_start(t(i)).decision,
+                StartDecision::Admit,
+                "txn {i} refused"
+            );
+        }
+        // Degree of T1 in the conflict graph is 3 — not chain-form.
+        assert_eq!(s.core.graph.degree(t(1)), 3);
+    }
+
+    #[test]
+    fn cheaper_competitor_wins_the_lock() {
+        let mut s = low(2);
+        // T1: expensive remaining work after taking F0; T2 cheap.
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 9.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        // E(T1 grant): orient T1→T2: critical ≈ t0(T1) + w(T1→T2)
+        //   = 10 + 1 = 11.
+        // E(T2 grant): orient T2→T1: critical ≈ t0(T2) + w(T2→T1)
+        //   = 1 + 10 = 11.
+        // Tie → both may be granted; make T1 strictly worse by raising
+        // its remaining demand.
+        // (With these numbers E(q)=E(p): LOW grants q on ≤.)
+        let o = s.request(t(1), 0);
+        assert_eq!(o.decision, ReqDecision::Granted);
+        // Each evaluation costed kwtpgtime: E(q) + one E(p).
+        assert_eq!(o.cpu, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn expensive_requester_is_delayed() {
+        let mut s = low(2);
+        // T1's grant leads to a longer critical path than granting T2.
+        s.register(
+            t(1),
+            BatchSpec::new(vec![w(f(2), 9.0), w(f(0), 1.0)]),
+        );
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        // Weights: w(T1→T2) = 1 (T2 from step 0), w(T2→T1) = 1 (T1 from
+        // its conflicting step 1). t0: T1 = 10, T2 = 1.
+        // E(T1 grant): T1→T2 path = 10 + 1 = 11.
+        // E(T2 grant): T2→T1 path = 1 + 1 = 2.
+        // E(q) = 11 > E(p) = 2 → delay T1's request.
+        let o = s.request(t(1), 1);
+        assert_eq!(o.decision, ReqDecision::Delayed);
+        // T2's own request is granted (E roles swap).
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Granted);
+    }
+
+    #[test]
+    fn blocked_when_lock_held() {
+        let mut s = low(2);
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Blocked);
+        s.commit(t(1));
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Granted);
+    }
+
+    #[test]
+    fn deadlock_risk_is_delayed() {
+        let mut s = low(2);
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(1), 1.0), w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        // T2 requesting F1 would orient T2→T1 against decided T1→T2.
+        let o = s.request(t(2), 0);
+        assert_eq!(o.decision, ReqDecision::Delayed);
+        // Only E(q) was computed before the ∞ bail-out.
+        assert_eq!(o.cpu, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn serializable_constraints() {
+        let mut s = low(2);
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(1), 1.0), w(f(2), 1.0)]));
+        s.register(t(3), BatchSpec::new(vec![w(f(2), 1.0)]));
+        for i in 1..=3 {
+            s.try_start(t(i));
+        }
+        let _ = s.request(t(1), 0);
+        let _ = s.request(t(2), 0);
+        let _ = s.request(t(1), 1);
+        let _ = s.request(t(3), 0);
+        s.commit(t(1));
+        s.commit(t(2));
+        s.commit(t(3));
+        let cs = s.drain_constraints();
+        assert!(bds_wtpg::oracle::is_serializable(&cs), "{cs:?}");
+    }
+}

@@ -1,0 +1,231 @@
+//! OPT — Optimistic locking (Kung & Robinson \[11\]).
+//!
+//! Transactions run without any locks, recording read and write sets; at
+//! commit the scheduler certifies serializability by **backward
+//! validation**: the committing transaction fails if any transaction
+//! that committed during its lifetime wrote a file the validator read or
+//! wrote. On failure the transaction is aborted and restarted from its
+//! first step — all its I/O is redone, which under the paper's
+//! high-data-contention batch workloads makes OPT the worst performer
+//! (Fig. 8, Table 4) and saturates the DPNs with wasted work (Fig. 10's
+//! flat speedup).
+
+use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use bds_workload::{BatchSpec, FileId};
+use bds_wtpg::TxnId;
+use std::collections::BTreeMap;
+
+/// A committed transaction's footprint retained for validation.
+#[derive(Debug, Clone)]
+struct CommittedEntry {
+    /// Commit serial number.
+    seq: u64,
+    /// Files the committed transaction wrote.
+    write_set: Vec<FileId>,
+}
+
+/// The OPT scheduler.
+#[derive(Debug, Default)]
+pub struct Opt {
+    specs: BTreeMap<TxnId, BatchSpec>,
+    /// Live transactions → the commit serial number at their start.
+    active: BTreeMap<TxnId, u64>,
+    committed: Vec<CommittedEntry>,
+    commit_seq: u64,
+    validation_failures: u64,
+}
+
+impl Opt {
+    /// Create the scheduler.
+    pub fn new() -> Self {
+        Opt::default()
+    }
+
+    /// Total validation failures so far (each causes a restart).
+    pub fn validation_failures(&self) -> u64 {
+        self.validation_failures
+    }
+
+    /// Drop committed entries no active transaction can conflict with.
+    fn prune(&mut self) {
+        let min_start = self.active.values().min().copied().unwrap_or(self.commit_seq);
+        self.committed.retain(|e| e.seq > min_start);
+    }
+}
+
+impl Scheduler for Opt {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn register(&mut self, id: TxnId, spec: BatchSpec) {
+        let prev = self.specs.insert(id, spec);
+        assert!(prev.is_none(), "duplicate registration of {id:?}");
+    }
+
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
+        self.active.insert(id, self.commit_seq);
+        Outcome::free(StartDecision::Admit)
+    }
+
+    fn request(&mut self, _id: TxnId, _step: usize) -> Outcome<ReqDecision> {
+        Outcome::free(ReqDecision::Granted)
+    }
+
+    fn step_complete(&mut self, _id: TxnId, _step: usize) {}
+
+    fn validate(&mut self, id: TxnId) -> Outcome<bool> {
+        let start_seq = self.active[&id];
+        let spec = &self.specs[&id];
+        let mut footprint = spec.read_set();
+        footprint.extend(spec.write_set());
+        footprint.sort_unstable();
+        footprint.dedup();
+        let ok = !self
+            .committed
+            .iter()
+            .filter(|e| e.seq > start_seq)
+            .any(|e| e.write_set.iter().any(|w| footprint.binary_search(w).is_ok()));
+        if !ok {
+            self.validation_failures += 1;
+        }
+        Outcome::free(ok)
+    }
+
+    fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        self.commit_seq += 1;
+        let write_set = self.specs[&id].write_set();
+        self.committed.push(CommittedEntry {
+            seq: self.commit_seq,
+            write_set,
+        });
+        self.active.remove(&id);
+        self.specs.remove(&id);
+        self.prune();
+        Vec::new()
+    }
+
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        self.active.remove(&id);
+        self.prune();
+        Vec::new()
+    }
+
+    fn live_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_workload::spec::Step;
+    use bds_workload::LockMode;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    fn writer(file: FileId) -> BatchSpec {
+        BatchSpec::new(vec![Step::write(file, 1.0)])
+    }
+    fn reader(file: FileId) -> BatchSpec {
+        BatchSpec::new(vec![Step::read(file, LockMode::Shared, 1.0)])
+    }
+
+    #[test]
+    fn non_overlapping_transactions_validate() {
+        let mut s = Opt::new();
+        s.register(t(1), writer(f(0)));
+        s.register(t(2), writer(f(1)));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        assert!(s.validate(t(1)).decision);
+        s.commit(t(1));
+        assert!(s.validate(t(2)).decision, "disjoint files: no conflict");
+        s.commit(t(2));
+        assert_eq!(s.validation_failures(), 0);
+    }
+
+    #[test]
+    fn write_write_overlap_fails_validation() {
+        let mut s = Opt::new();
+        s.register(t(1), writer(f(0)));
+        s.register(t(2), writer(f(0)));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        s.validate(t(1));
+        s.commit(t(1));
+        assert!(!s.validate(t(2)).decision, "t1 committed a write t2 wrote");
+        assert_eq!(s.validation_failures(), 1);
+    }
+
+    #[test]
+    fn read_of_committed_write_fails() {
+        let mut s = Opt::new();
+        s.register(t(1), writer(f(0)));
+        s.register(t(2), reader(f(0)));
+        s.try_start(t(2)); // reader starts first…
+        s.try_start(t(1));
+        s.commit(t(1)); // …writer commits during its lifetime
+        assert!(!s.validate(t(2)).decision);
+    }
+
+    #[test]
+    fn commits_before_start_are_invisible() {
+        let mut s = Opt::new();
+        s.register(t(1), writer(f(0)));
+        s.try_start(t(1));
+        s.commit(t(1));
+        // t2 starts after t1 committed: no conflict.
+        s.register(t(2), writer(f(0)));
+        s.try_start(t(2));
+        assert!(s.validate(t(2)).decision);
+    }
+
+    #[test]
+    fn restart_revalidates_from_new_start_point() {
+        let mut s = Opt::new();
+        s.register(t(1), writer(f(0)));
+        s.register(t(2), writer(f(0)));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        s.commit(t(1));
+        assert!(!s.validate(t(2)).decision);
+        s.abort(t(2));
+        // Restart: new start sequence, nothing committed since.
+        s.try_start(t(2));
+        assert!(s.validate(t(2)).decision);
+        s.commit(t(2));
+    }
+
+    #[test]
+    fn committed_log_is_pruned() {
+        let mut s = Opt::new();
+        for i in 0..100 {
+            s.register(t(i), writer(f(i as u32)));
+            s.try_start(t(i));
+            s.validate(t(i));
+            s.commit(t(i));
+        }
+        assert!(
+            s.committed.len() <= 1,
+            "log must not grow without active transactions: {}",
+            s.committed.len()
+        );
+    }
+
+    #[test]
+    fn reads_never_invalidate_readers() {
+        let mut s = Opt::new();
+        s.register(t(1), reader(f(0)));
+        s.register(t(2), reader(f(0)));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        s.commit(t(1));
+        assert!(s.validate(t(2)).decision, "read-read is not a conflict");
+    }
+}

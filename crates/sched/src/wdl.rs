@@ -1,0 +1,200 @@
+//! WDL — Wait-Depth Limited locking (extension beyond the paper).
+//!
+//! A restart-oriented protocol in the spirit of Franaszek & Robinson's
+//! wait-depth limitation: a lock request conflicting with held locks may
+//! **block only if no conflicting holder is itself waiting** (so blocking
+//! chains never exceed depth 1); otherwise the *requester restarts* —
+//! releasing everything it holds and redoing its I/O from the first step.
+//!
+//! This gives an interesting contrast to the paper's six schedulers: it
+//! shares ASL/GOW/LOW's freedom from long blocking chains, but pays for
+//! it with rollbacks like OPT. The ablation experiments
+//! (`batchsched::experiments::ablations`) show it landing between the
+//! two regimes, which is exactly the paper's point — for *batch*
+//! transactions, redoing bulk I/O is so expensive that avoiding
+//! rollback (requirement 3) matters as much as avoiding blocking
+//! chains (requirement 1).
+
+use crate::lock_table::LockTable;
+use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use bds_des::time::Duration;
+use bds_workload::{BatchSpec, FileId};
+use bds_wtpg::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The WDL scheduler (wait depth limited to 1).
+#[derive(Debug, Default)]
+pub struct Wdl {
+    table: LockTable,
+    specs: BTreeMap<TxnId, BatchSpec>,
+    live: BTreeSet<TxnId>,
+    /// Transactions with an unsatisfied lock request (they are waiting —
+    /// blocking behind them would create a depth-2 chain).
+    waiting: BTreeSet<TxnId>,
+    check_time: Duration,
+    restarts: u64,
+}
+
+impl Wdl {
+    /// Create; `check_time` is the CPU charge per conflict check (we
+    /// reuse the paper's `ddtime`, as the check is of the same nature as
+    /// C2PL's deadlock test).
+    pub fn new(check_time: Duration) -> Self {
+        Wdl {
+            check_time,
+            ..Wdl::default()
+        }
+    }
+
+    /// Restarts the scheduler has demanded so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+}
+
+impl Scheduler for Wdl {
+    fn name(&self) -> &'static str {
+        "WDL"
+    }
+
+    fn register(&mut self, id: TxnId, spec: BatchSpec) {
+        let prev = self.specs.insert(id, spec);
+        assert!(prev.is_none(), "duplicate registration of {id:?}");
+    }
+
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
+        self.live.insert(id);
+        Outcome::free(StartDecision::Admit)
+    }
+
+    fn request(&mut self, id: TxnId, step: usize) -> Outcome<ReqDecision> {
+        let s = self.specs[&id].steps[step];
+        if self.table.can_grant(id, s.file, s.mode) {
+            self.table.grant(id, s.file, s.mode);
+            self.waiting.remove(&id);
+            return Outcome::costed(ReqDecision::Granted, self.check_time);
+        }
+        let holders = self.table.conflicting_holders(id, s.file, s.mode);
+        let any_holder_waiting = holders.iter().any(|h| self.waiting.contains(h));
+        if any_holder_waiting {
+            // Waiting here would create a chain of depth ≥ 2: restart.
+            self.restarts += 1;
+            self.waiting.remove(&id);
+            Outcome::costed(ReqDecision::Restart, self.check_time)
+        } else {
+            self.waiting.insert(id);
+            Outcome::costed(ReqDecision::Blocked, self.check_time)
+        }
+    }
+
+    fn step_complete(&mut self, _id: TxnId, _step: usize) {}
+
+    fn validate(&mut self, _id: TxnId) -> Outcome<bool> {
+        Outcome::free(true)
+    }
+
+    fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        self.live.remove(&id);
+        self.waiting.remove(&id);
+        self.specs.remove(&id);
+        self.table.release_all(id)
+    }
+
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        self.live.remove(&id);
+        self.waiting.remove(&id);
+        self.table.release_all(id)
+    }
+
+    fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_workload::spec::Step;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+    fn wdl() -> Wdl {
+        Wdl::new(Duration::from_millis(1))
+    }
+    fn w(file: FileId, cost: f64) -> Step {
+        Step::write(file, cost)
+    }
+
+    #[test]
+    fn first_waiter_blocks() {
+        let mut s = wdl();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Blocked);
+        s.commit(t(1));
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.restarts(), 0);
+    }
+
+    #[test]
+    fn depth_two_wait_restarts() {
+        // T1 holds F0 and waits on F1 (held by T0). T2 wants F0: its
+        // holder T1 is waiting — depth would be 2 — so T2 restarts.
+        let mut s = wdl();
+        s.register(t(0), BatchSpec::new(vec![w(f(1), 1.0)]));
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        for i in 0..=2 {
+            s.try_start(t(i));
+        }
+        assert_eq!(s.request(t(0), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(1), 1).decision, ReqDecision::Blocked);
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Restart);
+        assert_eq!(s.restarts(), 1);
+    }
+
+    #[test]
+    fn deadlock_is_broken_by_restart() {
+        // The classic two-txn deadlock pattern: with WDL the second
+        // waiter restarts instead of closing the cycle.
+        let mut s = wdl();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(1), 1.0), w(f(0), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(1), 1).decision, ReqDecision::Blocked);
+        // T2 wants F0 whose holder T1 is waiting: restart T2, which
+        // releases F1 and unblocks T1.
+        assert_eq!(s.request(t(2), 1).decision, ReqDecision::Restart);
+        let released = s.abort(t(2));
+        assert_eq!(released, vec![f(1)]);
+        assert_eq!(s.request(t(1), 1).decision, ReqDecision::Granted);
+    }
+
+    #[test]
+    fn grant_clears_waiting_state() {
+        let mut s = wdl();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        let _ = s.request(t(1), 0);
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Blocked);
+        s.commit(t(1));
+        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Granted);
+        // T2 is no longer waiting: newcomers may block behind it.
+        s.register(t(3), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(3));
+        assert_eq!(s.request(t(3), 0).decision, ReqDecision::Blocked);
+    }
+}

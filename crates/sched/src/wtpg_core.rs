@@ -1,0 +1,319 @@
+//! Shared bookkeeping for the WTPG-based schedulers (C2PL, GOW, LOW):
+//! registered declarations, the live set, WTPG node/edge maintenance and
+//! the grant-time orientation rule.
+
+use crate::lock_table::LockTable;
+use bds_workload::{conflict, BatchSpec, FileId, LockMode};
+use bds_wtpg::{TxnId, Wtpg};
+use std::collections::BTreeMap;
+
+/// Registered declarations plus the WTPG over the live transactions.
+#[derive(Debug, Clone, Default)]
+pub struct WtpgCore {
+    /// The weighted graph over live transactions.
+    pub graph: Wtpg,
+    specs: BTreeMap<TxnId, BatchSpec>,
+    /// Per-file index of *live* transactions declaring the file, with
+    /// their strongest declared mode (hot path for conflict lookups).
+    by_file: BTreeMap<FileId, Vec<(TxnId, LockMode)>>,
+    /// Precedence constraints recorded for serializability auditing.
+    constraints: Vec<(TxnId, TxnId)>,
+}
+
+impl WtpgCore {
+    /// Empty state.
+    pub fn new() -> Self {
+        WtpgCore::default()
+    }
+
+    /// Register a declaration (before admission).
+    pub fn register(&mut self, id: TxnId, spec: BatchSpec) {
+        let prev = self.specs.insert(id, spec);
+        assert!(prev.is_none(), "duplicate registration of {id:?}");
+    }
+
+    /// The declaration of a registered transaction.
+    pub fn spec(&self, id: TxnId) -> &BatchSpec {
+        &self.specs[&id]
+    }
+
+    /// Is the transaction live (admitted, uncommitted)?
+    pub fn is_live(&self, id: TxnId) -> bool {
+        self.graph.contains(id)
+    }
+
+    /// Live transaction count.
+    pub fn live_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// The live transactions that declared an access to `file`
+    /// conflicting with `mode`, other than `id`, in ascending id order.
+    pub fn conflicting_declarers(
+        &self,
+        id: TxnId,
+        file: FileId,
+        mode: LockMode,
+    ) -> Vec<TxnId> {
+        self.by_file
+            .get(&file)
+            .into_iter()
+            .flatten()
+            .filter(|&&(other, m)| other != id && !m.compatible(mode))
+            .map(|&(other, _)| other)
+            .collect()
+    }
+
+    /// The live transactions whose declarations conflict with `id`'s
+    /// declaration on *any* file, in ascending id order.
+    pub fn conflicting_live(&self, id: TxnId) -> Vec<TxnId> {
+        let spec = &self.specs[&id];
+        let mut out: Vec<TxnId> = spec
+            .lock_set()
+            .into_iter()
+            .flat_map(|(file, mode)| self.conflicting_declarers(id, file, mode))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Admit `id` into the WTPG: add its node (T0 weight = total declared
+    /// demand), declare conflict edges against every conflicting live
+    /// transaction, and orient edges toward transactions that already
+    /// hold a conflicting lock on a shared-conflict file (they accessed
+    /// it first, so they precede `id`).
+    pub fn add_live(&mut self, id: TxnId, table: &LockTable) {
+        let spec = self.specs[&id].clone();
+        self.graph.add_txn(id, spec.total_declared());
+        let others: Vec<TxnId> = self.conflicting_live(id);
+        for (file, mode) in spec.lock_set() {
+            self.by_file.entry(file).or_default().push((id, mode));
+        }
+        for other in others {
+            let ospec = &self.specs[&other];
+            if let Some((w_new_other, w_other_new)) = conflict::edge_weights(&spec, ospec) {
+                self.graph
+                    .declare_conflict(id, other, w_new_other, w_other_new);
+                // If `other` already holds a conflicting lock on one of
+                // the pair's conflict files, its access came first.
+                let holds_first = conflict::conflicting_files(&spec, ospec)
+                    .into_iter()
+                    .any(|file| match (table.mode_held(other, file), spec.mode_on(file)) {
+                        (Some(held), Some(want)) => !held.compatible(want),
+                        _ => false,
+                    });
+                if holds_first {
+                    self.set_precedence(other, id);
+                }
+            }
+        }
+    }
+
+    /// Remove a committed/aborted transaction from the graph (its spec
+    /// registration is dropped too).
+    pub fn remove(&mut self, id: TxnId) {
+        self.remove_live_only(id);
+        self.specs.remove(&id);
+    }
+
+    /// Drop only the live state (OPT-style restart would not use this —
+    /// it is for schedulers that keep the registration on refusal).
+    pub fn remove_live_only(&mut self, id: TxnId) {
+        if self.graph.contains(id) {
+            self.graph.remove_txn(id);
+            for (file, _) in self.specs[&id].lock_set() {
+                if let Some(v) = self.by_file.get_mut(&file) {
+                    v.retain(|&(t, _)| t != id);
+                }
+            }
+        }
+    }
+
+    /// Update the `T0` weight after `step` finished: remaining declared
+    /// demand from the next step on.
+    pub fn step_complete(&mut self, id: TxnId, step: usize) {
+        if !self.graph.contains(id) {
+            return;
+        }
+        let remaining = if step + 1 >= self.specs[&id].len() {
+            0.0
+        } else {
+            self.specs[&id].declared_from(step + 1)
+        };
+        self.graph.set_t0_weight(id, remaining);
+    }
+
+    /// The precedence orientations implied by granting `id` a lock of
+    /// `mode` on `file`: `id → other` for every conflicting declarer.
+    /// Pairs already decided in this direction are omitted; pairs decided
+    /// in the *opposite* direction are still returned so callers can
+    /// detect the inconsistency (granting would be non-serializable).
+    pub fn implied_orientations(
+        &self,
+        id: TxnId,
+        file: FileId,
+        mode: LockMode,
+    ) -> Vec<(TxnId, TxnId)> {
+        self.conflicting_declarers(id, file, mode)
+            .into_iter()
+            .filter(|&other| !self.graph.is_decided(id, other))
+            .map(|other| (id, other))
+            .collect()
+    }
+
+    /// Record and apply a decided precedence, skipping already-decided
+    /// pairs.
+    ///
+    /// # Panics
+    /// Panics if the pair is decided in the opposite direction — callers
+    /// must never apply inconsistent orientations.
+    pub fn set_precedence(&mut self, from: TxnId, to: TxnId) {
+        if self.graph.is_decided(from, to) {
+            return;
+        }
+        self.graph.set_precedence(from, to);
+        self.constraints.push((from, to));
+    }
+
+    /// Apply all orientations (grant committed); panics on inconsistency.
+    pub fn apply_orientations(&mut self, orientations: &[(TxnId, TxnId)]) {
+        for &(from, to) in orientations {
+            if self.graph.contains(from) && self.graph.contains(to) {
+                self.set_precedence(from, to);
+            }
+        }
+    }
+
+    /// Would any of these orientations contradict an already-decided
+    /// edge?
+    pub fn any_inconsistent(&self, orientations: &[(TxnId, TxnId)]) -> bool {
+        orientations
+            .iter()
+            .any(|&(from, to)| self.graph.is_decided(to, from))
+    }
+
+    /// Drain recorded precedence constraints.
+    pub fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        std::mem::take(&mut self.constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_workload::spec::Step;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    fn xw(file: FileId, cost: f64) -> Step {
+        Step::write(file, cost)
+    }
+
+    #[test]
+    fn add_live_builds_conflict_edges() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        core.register(t(1), BatchSpec::new(vec![xw(f(0), 1.0), xw(f(1), 2.0)]));
+        core.register(t(2), BatchSpec::new(vec![xw(f(1), 3.0), xw(f(2), 1.0)]));
+        core.add_live(t(1), &table);
+        core.add_live(t(2), &table);
+        assert!(core.graph.is_conflict(t(1), t(2)));
+        assert_eq!(core.graph.t0_weight(t(1)), 3.0);
+        assert_eq!(core.graph.t0_weight(t(2)), 4.0);
+        // w(T1→T2): T2's first conflicting step is step 0 (f1): 3+1 = 4.
+        let key = bds_wtpg::graph::PairKey::new(t(1), t(2));
+        assert_eq!(core.graph.edge(t(1), t(2)).unwrap().weight_from(key, t(1)), 4.0);
+        // w(T2→T1): T1's first conflicting step is step 1 (f1): 2.
+        assert_eq!(core.graph.edge(t(1), t(2)).unwrap().weight_from(key, t(2)), 2.0);
+    }
+
+    #[test]
+    fn add_live_orients_toward_holders() {
+        let mut core = WtpgCore::new();
+        let mut table = LockTable::new();
+        core.register(t(1), BatchSpec::new(vec![xw(f(0), 1.0)]));
+        core.add_live(t(1), &table);
+        table.grant(t(1), f(0), LockMode::Exclusive);
+        core.register(t(2), BatchSpec::new(vec![xw(f(0), 5.0)]));
+        core.add_live(t(2), &table);
+        assert!(core.graph.is_decided(t(1), t(2)));
+        let cs = core.drain_constraints();
+        assert_eq!(cs, vec![(t(1), t(2))]);
+    }
+
+    #[test]
+    fn step_complete_updates_t0() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        core.register(t(1), BatchSpec::new(vec![xw(f(0), 1.0), xw(f(1), 2.0)]));
+        core.add_live(t(1), &table);
+        core.step_complete(t(1), 0);
+        assert_eq!(core.graph.t0_weight(t(1)), 2.0);
+        core.step_complete(t(1), 1);
+        assert_eq!(core.graph.t0_weight(t(1)), 0.0);
+    }
+
+    #[test]
+    fn implied_orientations_skip_decided() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        core.register(t(1), BatchSpec::new(vec![xw(f(0), 1.0)]));
+        core.register(t(2), BatchSpec::new(vec![xw(f(0), 1.0)]));
+        core.register(t(3), BatchSpec::new(vec![xw(f(0), 1.0)]));
+        for i in 1..=3 {
+            core.add_live(t(i), &table);
+        }
+        let o = core.implied_orientations(t(1), f(0), LockMode::Exclusive);
+        assert_eq!(o, vec![(t(1), t(2)), (t(1), t(3))]);
+        core.set_precedence(t(1), t(2));
+        let o = core.implied_orientations(t(1), f(0), LockMode::Exclusive);
+        assert_eq!(o, vec![(t(1), t(3))]);
+        // Adverse decided pair is detected as inconsistent.
+        core.set_precedence(t(3), t(1));
+        assert!(core.any_inconsistent(&[(t(1), t(3))]));
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        core.register(t(1), BatchSpec::new(vec![xw(f(0), 1.0)]));
+        core.add_live(t(1), &table);
+        assert_eq!(core.live_count(), 1);
+        core.remove(t(1));
+        assert_eq!(core.live_count(), 0);
+        assert!(!core.is_live(t(1)));
+    }
+
+    #[test]
+    fn conflicting_declarers_respects_modes() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        core.register(
+            t(1),
+            BatchSpec::new(vec![Step::read(f(0), LockMode::Shared, 1.0)]),
+        );
+        core.register(
+            t(2),
+            BatchSpec::new(vec![Step::read(f(0), LockMode::Shared, 1.0)]),
+        );
+        core.register(t(3), BatchSpec::new(vec![xw(f(0), 1.0)]));
+        for i in 1..=3 {
+            core.add_live(t(i), &table);
+        }
+        // S vs S: no conflict; X conflicts with both.
+        assert!(core
+            .conflicting_declarers(t(1), f(0), LockMode::Shared)
+            .contains(&t(3)));
+        assert_eq!(
+            core.conflicting_declarers(t(3), f(0), LockMode::Exclusive),
+            vec![t(1), t(2)]
+        );
+    }
+}

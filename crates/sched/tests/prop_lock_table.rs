@@ -1,0 +1,125 @@
+//! Property tests for the lock table: compatibility is never violated,
+//! release is complete, and the table agrees with a naive model.
+
+use bds_sched::lock_table::LockTable;
+use bds_workload::{FileId, LockMode};
+use bds_wtpg::TxnId;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Acquire { txn: u8, file: u8, exclusive: bool },
+    ReleaseAll { txn: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..12, 0u8..6, any::<bool>())
+                .prop_map(|(txn, file, exclusive)| Op::Acquire { txn, file, exclusive }),
+            (0u8..12).prop_map(|txn| Op::ReleaseAll { txn }),
+        ],
+        0..200,
+    )
+}
+
+/// Naive reference: map file -> holders.
+#[derive(Default)]
+struct Model {
+    holders: BTreeMap<u8, BTreeMap<u8, LockMode>>,
+}
+
+impl Model {
+    fn can_grant(&self, txn: u8, file: u8, mode: LockMode) -> bool {
+        self.holders
+            .get(&file)
+            .map(|h| h.iter().all(|(&t, &m)| t == txn || m.compatible(mode)))
+            .unwrap_or(true)
+    }
+    fn grant(&mut self, txn: u8, file: u8, mode: LockMode) {
+        let e = self
+            .holders
+            .entry(file)
+            .or_default()
+            .entry(txn)
+            .or_insert(mode);
+        *e = e.max(mode);
+    }
+    fn release_all(&mut self, txn: u8) {
+        for h in self.holders.values_mut() {
+            h.remove(&txn);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn table_agrees_with_model(ops in arb_ops()) {
+        let mut table = LockTable::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Acquire { txn, file, exclusive } => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let t = TxnId(txn as u64);
+                    let f = FileId(file as u32);
+                    let expect = model.can_grant(txn, file, mode);
+                    prop_assert_eq!(table.can_grant(t, f, mode), expect);
+                    if expect {
+                        table.grant(t, f, mode);
+                        model.grant(txn, file, mode);
+                        prop_assert!(table.holds_sufficient(t, f, mode));
+                    }
+                }
+                Op::ReleaseAll { txn } => {
+                    let t = TxnId(txn as u64);
+                    let released = table.release_all(t);
+                    model.release_all(txn);
+                    // Released files no longer list the txn as holder.
+                    for f in released {
+                        prop_assert!(table.mode_held(t, f).is_none());
+                    }
+                    prop_assert!(table.files_of(t).is_empty());
+                }
+            }
+            // Global invariant: X-held files have exactly one holder.
+            for file in 0u8..6 {
+                let holders = table.holders(FileId(file as u32));
+                let x_holders = holders
+                    .iter()
+                    .filter(|(_, m)| *m == LockMode::Exclusive)
+                    .count();
+                if x_holders > 0 {
+                    prop_assert_eq!(
+                        holders.len(), 1,
+                        "X lock on F{} coexists with other holders", file
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_locks_matches_holder_sum(ops in arb_ops()) {
+        let mut table = LockTable::new();
+        for op in ops {
+            match op {
+                Op::Acquire { txn, file, exclusive } => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let (t, f) = (TxnId(txn as u64), FileId(file as u32));
+                    if table.can_grant(t, f, mode) {
+                        table.grant(t, f, mode);
+                    }
+                }
+                Op::ReleaseAll { txn } => {
+                    table.release_all(TxnId(txn as u64));
+                }
+            }
+        }
+        let by_file: usize = (0u32..6).map(|f| table.holders(FileId(f)).len()).sum();
+        prop_assert_eq!(table.total_locks(), by_file);
+    }
+}

@@ -1,0 +1,178 @@
+//! Scheduler safety under random interleavings: drive every locking
+//! scheduler with randomized transaction mixes and request orders, and
+//! verify the fundamental safety properties directly (without the
+//! simulator):
+//!
+//! * a granted request never violates lock compatibility,
+//! * the precedence constraints stay acyclic (serializability),
+//! * committing always releases exactly the held files,
+//! * live counts never go negative or leak.
+
+use bds_des::time::Duration;
+use bds_machine::CostBook;
+use bds_sched::{ReqDecision, Scheduler, SchedulerKind, StartDecision};
+use bds_workload::spec::{Access, Step};
+use bds_workload::{BatchSpec, FileId, LockMode};
+use bds_wtpg::oracle::is_serializable;
+use bds_wtpg::TxnId;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A randomly generated batch over `files` files with 1–4 steps.
+fn arb_spec(files: u32) -> impl Strategy<Value = BatchSpec> {
+    prop::collection::vec((0..files, any::<bool>(), 1u32..6), 1..5).prop_map(|steps| {
+        BatchSpec::new(
+            steps
+                .into_iter()
+                .map(|(f, write, cost)| Step {
+                    file: FileId(f),
+                    mode: if write {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    },
+                    access: if write { Access::Write } else { Access::Read },
+                    cost: cost as f64,
+                    declared: cost as f64,
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Tracks the externally visible state of one transaction.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    Queued,
+    /// Live with the next step to request (skipping covered steps).
+    Running(usize),
+    Done,
+}
+
+fn drive(kind: SchedulerKind, specs: Vec<BatchSpec>, schedule: Vec<u8>) {
+    let costs = CostBook {
+        dd_time: Duration::from_millis(1),
+        ..CostBook::default()
+    };
+    let mut sched = kind.build(&costs);
+    let mut phases: BTreeMap<u64, Phase> = BTreeMap::new();
+    for (i, spec) in specs.iter().enumerate() {
+        sched.register(TxnId(i as u64), spec.clone());
+        phases.insert(i as u64, Phase::Queued);
+    }
+    let mut constraints = Vec::new();
+    let n = specs.len() as u64;
+    for pick in schedule {
+        let id = (pick as u64) % n;
+        let t = TxnId(id);
+        let phase = phases[&id].clone();
+        match phase {
+            Phase::Queued => {
+                if sched.try_start(t).decision == StartDecision::Admit {
+                    phases.insert(id, Phase::Running(0));
+                }
+            }
+            Phase::Running(step) => {
+                let spec = &specs[id as usize];
+                if step >= spec.len() {
+                    // Commit.
+                    assert!(sched.validate(t).decision);
+                    let released = sched.commit(t);
+                    // Strict 2PL: everything held is released at commit.
+                    for f in &released {
+                        assert!(spec.steps.iter().any(|s| s.file == *f));
+                    }
+                    phases.insert(id, Phase::Done);
+                } else if !spec.needs_lock_request(step) {
+                    sched.step_complete(t, step);
+                    phases.insert(id, Phase::Running(step + 1));
+                } else {
+                    match sched.request(t, step).decision {
+                        ReqDecision::Granted => {
+                            sched.step_complete(t, step);
+                            phases.insert(id, Phase::Running(step + 1));
+                        }
+                        ReqDecision::Blocked | ReqDecision::Delayed => {}
+                        ReqDecision::Restart => {
+                            sched.abort(t);
+                            phases.insert(id, Phase::Queued);
+                        }
+                    }
+                }
+            }
+            Phase::Done => {}
+        }
+        constraints.extend(sched.drain_constraints());
+        assert!(
+            is_serializable(&constraints),
+            "{kind}: constraints became cyclic"
+        );
+    }
+    let live_expected = phases
+        .values()
+        .filter(|p| matches!(p, Phase::Running(_)))
+        .count();
+    assert_eq!(sched.live_count(), live_expected, "{kind}: live-count leak");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn asl_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
+                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        drive(SchedulerKind::Asl, specs, schedule);
+    }
+
+    #[test]
+    fn c2pl_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
+                 schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        drive(SchedulerKind::C2pl, specs, schedule);
+    }
+
+    #[test]
+    fn gow_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
+                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        drive(SchedulerKind::Gow, specs, schedule);
+    }
+
+    #[test]
+    fn low_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
+                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        drive(SchedulerKind::Low(2), specs, schedule);
+    }
+
+    #[test]
+    fn low_k1_and_k4_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
+                          schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        drive(SchedulerKind::Low(1), specs.clone(), schedule.clone());
+        drive(SchedulerKind::Low(4), specs, schedule);
+    }
+
+    #[test]
+    fn wdl_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
+                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        drive(SchedulerKind::Wdl, specs, schedule);
+    }
+
+    #[test]
+    fn opt_validation_never_blocks(specs in prop::collection::vec(arb_spec(6), 1..8),
+                                   schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+        // OPT never returns Blocked/Delayed — every request is granted.
+        let costs = CostBook::default();
+        let mut sched = SchedulerKind::Opt.build(&costs);
+        for (i, spec) in specs.iter().enumerate() {
+            sched.register(TxnId(i as u64), spec.clone());
+            sched.try_start(TxnId(i as u64));
+        }
+        for pick in schedule {
+            let id = (pick as usize) % specs.len();
+            let spec = &specs[id];
+            let step = (pick as usize / specs.len()) % spec.len();
+            prop_assert_eq!(
+                sched.request(TxnId(id as u64), step).decision,
+                ReqDecision::Granted
+            );
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Workload generators for the paper's experiments.
+//!
+//! * [`Experiment1`] — Pattern 1 over `NumFiles` uniformly chosen files
+//!   (the "frequent blocking" workload of §5.1).
+//! * [`Experiment2`] — Pattern 2 over 8 read-only + 8 hot files (the
+//!   "hot-set update" workload of §5.2).
+//! * [`WithEstimationError`] — wraps any generator and perturbs the
+//!   *declared* I/O demands by `C = C0 · (1 + x)`, `x ~ N(0, σ²)`,
+//!   clamped to zero when `x ≤ −1` (Experiment 3, §5.3).
+//! * [`CustomPattern`] — any pattern over uniformly chosen distinct
+//!   files, for user workloads beyond the paper.
+
+use crate::pattern::Pattern;
+use crate::spec::{BatchSpec, FileId};
+use bds_des::dist::{Discrete, Normal, Sample};
+use bds_des::rng::Xoshiro256;
+
+/// A source of batch-transaction instances.
+pub trait WorkloadGen {
+    /// Generate the next transaction's specification.
+    fn next_batch(&mut self) -> BatchSpec;
+    /// Number of files in the database this workload addresses.
+    fn num_files(&self) -> u32;
+    /// Expected total I/O demand per transaction, in objects at `DD = 1`
+    /// (used to compute the machine's saturation throughput).
+    fn mean_demand(&self) -> f64;
+}
+
+/// Experiment 1: Pattern 1 with `F1, F2` drawn uniformly (distinct) from
+/// `num_files` files.
+#[derive(Debug, Clone)]
+pub struct Experiment1 {
+    pattern: Pattern,
+    num_files: u32,
+    rng: Xoshiro256,
+}
+
+impl Experiment1 {
+    /// Create with its own RNG stream. The paper's default is
+    /// `num_files = 16`, varied over {8, 16, 32, 64} in Table 2.
+    ///
+    /// # Panics
+    /// Panics if `num_files < 2` (Pattern 1 needs two distinct files).
+    pub fn new(num_files: u32, rng: Xoshiro256) -> Self {
+        assert!(num_files >= 2, "Experiment 1 needs at least two files");
+        Experiment1 {
+            pattern: Pattern::pattern1(),
+            num_files,
+            rng,
+        }
+    }
+}
+
+impl WorkloadGen for Experiment1 {
+    fn next_batch(&mut self) -> BatchSpec {
+        let picks = self.rng.choose_distinct(self.num_files as usize, 2);
+        let files = [FileId(picks[0] as u32), FileId(picks[1] as u32)];
+        self.pattern.instantiate(&files)
+    }
+
+    fn num_files(&self) -> u32 {
+        self.num_files
+    }
+
+    fn mean_demand(&self) -> f64 {
+        self.pattern.total_cost()
+    }
+}
+
+/// Experiment 2: Pattern 2 where `B` is drawn from 8 read-only files
+/// (ids `0..8`) and `F1 ≠ F2` from 8 hot files (ids `8..16`).
+#[derive(Debug, Clone)]
+pub struct Experiment2 {
+    pattern: Pattern,
+    rng: Xoshiro256,
+}
+
+/// Number of read-only files in Experiment 2.
+pub const EXP2_READ_ONLY_FILES: u32 = 8;
+/// Number of hot (updated) files in Experiment 2.
+pub const EXP2_HOT_FILES: u32 = 8;
+
+impl Experiment2 {
+    /// Create with its own RNG stream.
+    pub fn new(rng: Xoshiro256) -> Self {
+        Experiment2 {
+            pattern: Pattern::pattern2(),
+            rng,
+        }
+    }
+}
+
+impl WorkloadGen for Experiment2 {
+    fn next_batch(&mut self) -> BatchSpec {
+        let b = FileId(self.rng.next_range(EXP2_READ_ONLY_FILES as u64) as u32);
+        let hot = self.rng.choose_distinct(EXP2_HOT_FILES as usize, 2);
+        let f1 = FileId(EXP2_READ_ONLY_FILES + hot[0] as u32);
+        let f2 = FileId(EXP2_READ_ONLY_FILES + hot[1] as u32);
+        self.pattern.instantiate(&[b, f1, f2])
+    }
+
+    fn num_files(&self) -> u32 {
+        EXP2_READ_ONLY_FILES + EXP2_HOT_FILES
+    }
+
+    fn mean_demand(&self) -> f64 {
+        self.pattern.total_cost()
+    }
+}
+
+/// Experiment 3 wrapper: perturb declared demands with relative error
+/// `x ~ N(0, σ²)`; the *true* cost is untouched.
+#[derive(Debug, Clone)]
+pub struct WithEstimationError<G> {
+    inner: G,
+    error: Normal,
+    rng: Xoshiro256,
+}
+
+impl<G: WorkloadGen> WithEstimationError<G> {
+    /// Wrap `inner`, declaring each step's demand as `C0 · (1 + x)` with
+    /// `x ~ N(0, sigma²)` (clamped at zero when `x ≤ −1`, per the paper).
+    pub fn new(inner: G, sigma: f64, rng: Xoshiro256) -> Self {
+        WithEstimationError {
+            inner,
+            error: Normal::new(0.0, sigma),
+            rng,
+        }
+    }
+}
+
+impl<G: WorkloadGen> WorkloadGen for WithEstimationError<G> {
+    fn next_batch(&mut self) -> BatchSpec {
+        let mut batch = self.inner.next_batch();
+        for step in &mut batch.steps {
+            let x = self.error.sample(&mut self.rng);
+            let declared = if x <= -1.0 { 0.0 } else { step.cost * (1.0 + x) };
+            step.declared = declared;
+        }
+        batch
+    }
+
+    fn num_files(&self) -> u32 {
+        self.inner.num_files()
+    }
+
+    fn mean_demand(&self) -> f64 {
+        self.inner.mean_demand()
+    }
+}
+
+/// A custom workload: a fixed pattern over `num_files` files chosen
+/// per-transaction without replacement, optionally with non-uniform file
+/// popularity.
+#[derive(Debug, Clone)]
+pub struct CustomPattern {
+    pattern: Pattern,
+    num_files: u32,
+    popularity: Option<Discrete>,
+    rng: Xoshiro256,
+}
+
+impl CustomPattern {
+    /// Uniform file choice.
+    ///
+    /// # Panics
+    /// Panics if `num_files < pattern.num_slots`.
+    pub fn uniform(pattern: Pattern, num_files: u32, rng: Xoshiro256) -> Self {
+        assert!(
+            num_files as usize >= pattern.num_slots,
+            "not enough files for the pattern's slots"
+        );
+        CustomPattern {
+            pattern,
+            num_files,
+            popularity: None,
+            rng,
+        }
+    }
+
+    /// Skewed file choice: per-file weights (rejection-sampled to keep
+    /// the slot bindings distinct).
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != num_files as usize` or fewer non-zero
+    /// weights than slots exist.
+    pub fn skewed(pattern: Pattern, weights: &[f64], rng: Xoshiro256) -> Self {
+        let nonzero = weights.iter().filter(|&&w| w > 0.0).count();
+        assert!(
+            nonzero >= pattern.num_slots,
+            "not enough popular files for the pattern's slots"
+        );
+        CustomPattern {
+            pattern,
+            num_files: weights.len() as u32,
+            popularity: Some(Discrete::new(weights)),
+            rng,
+        }
+    }
+}
+
+impl WorkloadGen for CustomPattern {
+    fn next_batch(&mut self) -> BatchSpec {
+        let k = self.pattern.num_slots;
+        let files: Vec<FileId> = match &self.popularity {
+            None => self
+                .rng
+                .choose_distinct(self.num_files as usize, k)
+                .into_iter()
+                .map(|i| FileId(i as u32))
+                .collect(),
+            Some(d) => {
+                let mut picked: Vec<FileId> = Vec::with_capacity(k);
+                while picked.len() < k {
+                    let c = FileId(d.sample_index(&mut self.rng) as u32);
+                    if !picked.contains(&c) {
+                        picked.push(c);
+                    }
+                }
+                picked
+            }
+        };
+        self.pattern.instantiate(&files)
+    }
+
+    fn num_files(&self) -> u32 {
+        self.num_files
+    }
+
+    fn mean_demand(&self) -> f64 {
+        self.pattern.total_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(99)
+    }
+
+    #[test]
+    fn exp1_picks_distinct_files_in_range() {
+        let mut g = Experiment1::new(16, rng());
+        for _ in 0..500 {
+            let b = g.next_batch();
+            let ls = b.lock_set();
+            assert_eq!(ls.len(), 2);
+            assert_ne!(ls[0].0, ls[1].0);
+            assert!(ls.iter().all(|(f, _)| f.0 < 16));
+            assert!((b.total_cost() - 7.2).abs() < 1e-12);
+        }
+        assert_eq!(g.num_files(), 16);
+        assert!((g.mean_demand() - 7.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp1_covers_all_files() {
+        let mut g = Experiment1::new(8, rng());
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            for (f, _) in g.next_batch().lock_set() {
+                seen[f.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exp2_respects_file_classes() {
+        let mut g = Experiment2::new(rng());
+        for _ in 0..500 {
+            let b = g.next_batch();
+            assert_eq!(b.steps.len(), 3);
+            assert!(b.steps[0].file.0 < 8, "B must be read-only class");
+            assert!((8..16).contains(&b.steps[1].file.0));
+            assert!((8..16).contains(&b.steps[2].file.0));
+            assert_ne!(b.steps[1].file, b.steps[2].file);
+        }
+        assert_eq!(g.num_files(), 16);
+    }
+
+    #[test]
+    fn estimation_error_zero_sigma_is_exact() {
+        let mut g = WithEstimationError::new(Experiment1::new(16, rng()), 0.0, rng());
+        for _ in 0..50 {
+            let b = g.next_batch();
+            for s in &b.steps {
+                assert_eq!(s.declared, s.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_error_perturbs_declared_only() {
+        let mut g = WithEstimationError::new(Experiment1::new(16, rng()), 1.0, rng());
+        let mut any_diff = false;
+        for _ in 0..100 {
+            let b = g.next_batch();
+            assert!((b.total_cost() - 7.2).abs() < 1e-12, "true cost intact");
+            for s in &b.steps {
+                assert!(s.declared >= 0.0);
+                if (s.declared - s.cost).abs() > 1e-9 {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff, "σ=1 must actually perturb declarations");
+    }
+
+    #[test]
+    fn estimation_error_mean_is_unbiased() {
+        let mut g = WithEstimationError::new(Experiment1::new(16, rng()), 0.5, rng());
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += g.next_batch().total_declared();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 7.2).abs() < 0.15, "declared mean {mean}");
+    }
+
+    #[test]
+    fn large_sigma_clamps_to_zero() {
+        let mut g = WithEstimationError::new(Experiment1::new(16, rng()), 10.0, rng());
+        let mut zeros = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            for s in g.next_batch().steps {
+                total += 1;
+                if s.declared == 0.0 {
+                    zeros += 1;
+                }
+            }
+        }
+        // With σ=10, P(x ≤ -1) ≈ 46%: plenty of clamped declarations.
+        assert!(zeros > total / 4, "only {zeros}/{total} clamped");
+    }
+
+    #[test]
+    fn custom_uniform_respects_slots() {
+        let mut g = CustomPattern::uniform(Pattern::pattern2(), 20, rng());
+        for _ in 0..100 {
+            let b = g.next_batch();
+            let files: Vec<_> = b.steps.iter().map(|s| s.file).collect();
+            assert!(files.iter().all(|f| f.0 < 20));
+            // All three slots distinct by construction.
+            assert_eq!(b.lock_set().len(), 3);
+        }
+    }
+
+    #[test]
+    fn custom_skewed_prefers_popular_files() {
+        let mut weights = vec![1.0; 16];
+        weights[0] = 100.0;
+        weights[1] = 100.0;
+        let mut g = CustomPattern::skewed(Pattern::pattern1(), &weights, rng());
+        let mut hot_hits = 0;
+        let n = 500;
+        for _ in 0..n {
+            let b = g.next_batch();
+            if b.steps.iter().any(|s| s.file.0 <= 1) {
+                hot_hits += 1;
+            }
+        }
+        assert!(hot_hits > n * 3 / 4, "only {hot_hits}/{n} touched hot files");
+    }
+}

@@ -1,0 +1,30 @@
+//! # bds-workload — batch-transaction workload model
+//!
+//! Models the paper's batch transactions (§2): a batch is a *sequential*
+//! list of steps, each reading or writing one file by a full scan, with
+//! file-granularity S/X locks held to commit. Every transaction declares
+//! its step sequence and per-step I/O demands at startup — the WTPG
+//! schedulers rely on these *access declarations*.
+//!
+//! The crate provides:
+//! * [`LockMode`] and its compatibility matrix,
+//! * [`Step`] / [`BatchSpec`] — a concrete transaction instance with both
+//!   *true* and *declared* per-step costs (they differ in Experiment 3,
+//!   where declarations carry a normally distributed error),
+//! * [`pattern::Pattern`] — reusable step templates (`r(F1:1) → …`),
+//! * [`arrivals::PoissonArrivals`] — the exponential arrival process,
+//! * [`gen`] — generators for the paper's Experiments 1, 2 and 3 plus
+//!   custom workloads,
+//! * [`conflict`] — declaration-conflict helpers shared by all WTPG-based
+//!   schedulers (first conflicting step, directed edge weights).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod conflict;
+pub mod gen;
+pub mod pattern;
+pub mod spec;
+
+pub use spec::{BatchSpec, FileId, LockMode, Step};

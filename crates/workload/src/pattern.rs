@@ -1,0 +1,193 @@
+//! Step patterns: reusable transaction templates.
+//!
+//! Experiments instantiate transactions from a *pattern* such as
+//! `Pattern1: r(F1:1) → r(F2:5) → w(F1:0.2) → w(F2:1)` by binding the
+//! pattern's file placeholders to randomly chosen files.
+
+use crate::spec::{Access, BatchSpec, FileId, LockMode, Step};
+use serde::{Deserialize, Serialize};
+
+/// A step template: like [`Step`] but with a symbolic file slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepTemplate {
+    /// Index into the pattern's file-slot list.
+    pub slot: usize,
+    /// Lock mode requested.
+    pub mode: LockMode,
+    /// Read/write semantics.
+    pub access: Access,
+    /// I/O demand in objects at `DD = 1`.
+    pub cost: f64,
+}
+
+/// A transaction pattern: an ordered list of step templates over
+/// `num_slots` file placeholders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Number of distinct file slots the pattern binds.
+    pub num_slots: usize,
+    /// The step templates.
+    pub steps: Vec<StepTemplate>,
+}
+
+impl Pattern {
+    /// Build a pattern, validating slot references.
+    ///
+    /// # Panics
+    /// Panics if a template references a slot `>= num_slots` or the list
+    /// is empty.
+    pub fn new(num_slots: usize, steps: Vec<StepTemplate>) -> Self {
+        assert!(!steps.is_empty(), "pattern needs at least one step");
+        for s in &steps {
+            assert!(s.slot < num_slots, "slot {} out of range", s.slot);
+            assert!(s.cost.is_finite() && s.cost >= 0.0, "bad cost {}", s.cost);
+        }
+        Pattern { num_slots, steps }
+    }
+
+    /// Instantiate with concrete files bound to the slots.
+    ///
+    /// # Panics
+    /// Panics if `files.len() != num_slots`.
+    pub fn instantiate(&self, files: &[FileId]) -> BatchSpec {
+        assert_eq!(files.len(), self.num_slots, "wrong number of slot bindings");
+        BatchSpec::new(
+            self.steps
+                .iter()
+                .map(|t| Step {
+                    file: files[t.slot],
+                    mode: t.mode,
+                    access: t.access,
+                    cost: t.cost,
+                    declared: t.cost,
+                })
+                .collect(),
+        )
+    }
+
+    /// Total I/O demand of one instance, in objects at `DD = 1`.
+    pub fn total_cost(&self) -> f64 {
+        self.steps.iter().map(|s| s.cost).sum()
+    }
+
+    /// The paper's **Pattern 1** (Experiment 1):
+    /// `r(F1:1) → r(F2:5) → w(F1:0.2) → w(F2:1)` with X-locks requested
+    /// at the first two steps (they cause the chains of blocking).
+    pub fn pattern1() -> Pattern {
+        Pattern::new(
+            2,
+            vec![
+                StepTemplate {
+                    slot: 0,
+                    mode: LockMode::Exclusive,
+                    access: Access::Read,
+                    cost: 1.0,
+                },
+                StepTemplate {
+                    slot: 1,
+                    mode: LockMode::Exclusive,
+                    access: Access::Read,
+                    cost: 5.0,
+                },
+                StepTemplate {
+                    slot: 0,
+                    mode: LockMode::Exclusive,
+                    access: Access::Write,
+                    cost: 0.2,
+                },
+                StepTemplate {
+                    slot: 1,
+                    mode: LockMode::Exclusive,
+                    access: Access::Write,
+                    cost: 1.0,
+                },
+            ],
+        )
+    }
+
+    /// The paper's **Pattern 2** (Experiment 2, hot-set update):
+    /// `r(B:5) → w(F1:1) → w(F2:1)` with S/X locks matching the
+    /// read/write steps. Slot 0 is the read-only file `B`; slots 1 and 2
+    /// are the hot files.
+    pub fn pattern2() -> Pattern {
+        Pattern::new(
+            3,
+            vec![
+                StepTemplate {
+                    slot: 0,
+                    mode: LockMode::Shared,
+                    access: Access::Read,
+                    cost: 5.0,
+                },
+                StepTemplate {
+                    slot: 1,
+                    mode: LockMode::Exclusive,
+                    access: Access::Write,
+                    cost: 1.0,
+                },
+                StepTemplate {
+                    slot: 2,
+                    mode: LockMode::Exclusive,
+                    access: Access::Write,
+                    cost: 1.0,
+                },
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn pattern1_shape() {
+        let p = Pattern::pattern1();
+        assert_eq!(p.num_slots, 2);
+        assert_eq!(p.steps.len(), 4);
+        assert!((p.total_cost() - 7.2).abs() < 1e-12);
+        let b = p.instantiate(&[f(3), f(7)]);
+        assert_eq!(b.steps[0].file, f(3));
+        assert_eq!(b.steps[1].file, f(7));
+        assert_eq!(b.steps[2].file, f(3));
+        assert_eq!(b.steps[3].file, f(7));
+        assert_eq!(b.steps[0].mode, LockMode::Exclusive);
+        assert_eq!(b.steps[0].access, Access::Read);
+        assert_eq!(b.steps[2].access, Access::Write);
+    }
+
+    #[test]
+    fn pattern2_shape() {
+        let p = Pattern::pattern2();
+        assert_eq!(p.num_slots, 3);
+        assert!((p.total_cost() - 7.0).abs() < 1e-12);
+        let b = p.instantiate(&[f(0), f(8), f(9)]);
+        assert_eq!(b.steps[0].mode, LockMode::Shared);
+        assert_eq!(b.steps[1].mode, LockMode::Exclusive);
+        assert_eq!(b.lock_set().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number")]
+    fn instantiate_checks_arity() {
+        Pattern::pattern1().instantiate(&[f(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 2 out of range")]
+    fn new_checks_slots() {
+        Pattern::new(
+            2,
+            vec![StepTemplate {
+                slot: 2,
+                mode: LockMode::Shared,
+                access: Access::Read,
+                cost: 1.0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Core workload types: files, lock modes, steps and transaction specs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a file (the locking granule — §2 of the paper: "a file
+/// is used as a locking-granule").
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileId(pub u32);
+
+impl fmt::Debug for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// File-level lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Shared — a reading step.
+    Shared,
+    /// Exclusive — a writing step (or a reading step of a file the batch
+    /// will later update, as in Experiment 1 where "X-locks are requested
+    /// at the first two steps").
+    Exclusive,
+}
+
+impl LockMode {
+    /// Lock compatibility: only S/S is compatible.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// Does a lock of mode `self` suffice for a request of mode `want`?
+    pub fn covers(self, want: LockMode) -> bool {
+        match (self, want) {
+            (LockMode::Exclusive, _) => true,
+            (LockMode::Shared, LockMode::Shared) => true,
+            (LockMode::Shared, LockMode::Exclusive) => false,
+        }
+    }
+
+    /// The stronger of two modes.
+    pub fn max(self, other: LockMode) -> LockMode {
+        if self == LockMode::Exclusive || other == LockMode::Exclusive {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+}
+
+/// Whether a step reads or writes its file — used by the optimistic
+/// scheduler's read/write sets (lock mode may be stronger than the
+/// access, e.g. Experiment 1 reads under X-locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// The step only reads the file.
+    Read,
+    /// The step updates the file.
+    Write,
+}
+
+/// One step of a batch transaction: a full scan of `file`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// The file scanned by this step.
+    pub file: FileId,
+    /// Lock mode requested for this step.
+    pub mode: LockMode,
+    /// Read or write semantics (for optimistic validation).
+    pub access: Access,
+    /// True I/O demand in objects at `DD = 1` (drives execution time).
+    pub cost: f64,
+    /// Declared I/O demand in objects at `DD = 1` (drives WTPG weights;
+    /// equals `cost` except in Experiment 3).
+    pub declared: f64,
+}
+
+impl Step {
+    /// A reading step `r(file:cost)` under the given lock mode.
+    pub fn read(file: FileId, mode: LockMode, cost: f64) -> Self {
+        Step {
+            file,
+            mode,
+            access: Access::Read,
+            cost,
+            declared: cost,
+        }
+    }
+
+    /// A writing step `w(file:cost)` (always X-locked).
+    pub fn write(file: FileId, cost: f64) -> Self {
+        Step {
+            file,
+            mode: LockMode::Exclusive,
+            access: Access::Write,
+            cost,
+            declared: cost,
+        }
+    }
+
+    /// Replace the declared demand (Experiment 3's estimation error).
+    pub fn with_declared(mut self, declared: f64) -> Self {
+        assert!(
+            declared.is_finite() && declared >= 0.0,
+            "invalid declared cost {declared}"
+        );
+        self.declared = declared;
+        self
+    }
+}
+
+/// A concrete batch-transaction instance: the ordered steps plus
+/// convenience accessors over the declaration.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// The sequential steps (the implicit commitment step is not listed).
+    pub steps: Vec<Step>,
+}
+
+impl BatchSpec {
+    /// Build from steps.
+    ///
+    /// # Panics
+    /// Panics if `steps` is empty or any cost is invalid.
+    pub fn new(steps: Vec<Step>) -> Self {
+        assert!(!steps.is_empty(), "a batch needs at least one step");
+        for s in &steps {
+            assert!(
+                s.cost.is_finite() && s.cost >= 0.0,
+                "invalid step cost {}",
+                s.cost
+            );
+            assert!(
+                s.declared.is_finite() && s.declared >= 0.0,
+                "invalid declared cost {}",
+                s.declared
+            );
+        }
+        BatchSpec { steps }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the batch has no steps (never constructed by `new`).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total *declared* I/O demand (objects at `DD = 1`).
+    pub fn total_declared(&self) -> f64 {
+        self.steps.iter().map(|s| s.declared).sum()
+    }
+
+    /// Total *true* I/O demand (objects at `DD = 1`).
+    pub fn total_cost(&self) -> f64 {
+        self.steps.iter().map(|s| s.cost).sum()
+    }
+
+    /// Declared demand remaining from step `from` (inclusive) to commit.
+    pub fn declared_from(&self, from: usize) -> f64 {
+        self.steps[from..].iter().map(|s| s.declared).sum()
+    }
+
+    /// Strongest lock mode this batch needs on `file`, if it accesses it.
+    pub fn mode_on(&self, file: FileId) -> Option<LockMode> {
+        self.steps
+            .iter()
+            .filter(|s| s.file == file)
+            .map(|s| s.mode)
+            .reduce(LockMode::max)
+    }
+
+    /// Index of the first step that accesses `file`.
+    pub fn first_step_on(&self, file: FileId) -> Option<usize> {
+        self.steps.iter().position(|s| s.file == file)
+    }
+
+    /// The distinct files the batch accesses, each with the strongest
+    /// mode requested, in first-access order.
+    pub fn lock_set(&self) -> Vec<(FileId, LockMode)> {
+        let mut out: Vec<(FileId, LockMode)> = Vec::new();
+        for s in &self.steps {
+            match out.iter_mut().find(|(f, _)| *f == s.file) {
+                Some((_, m)) => *m = m.max(s.mode),
+                None => out.push((s.file, s.mode)),
+            }
+        }
+        out
+    }
+
+    /// Index of the first step at which a new lock must be requested, per
+    /// step: `true` iff no earlier step already covers this step's lock.
+    pub fn needs_lock_request(&self, step: usize) -> bool {
+        let s = &self.steps[step];
+        !self.steps[..step]
+            .iter()
+            .any(|p| p.file == s.file && p.mode.covers(s.mode))
+    }
+
+    /// Read set (files accessed with [`Access::Read`]).
+    pub fn read_set(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self
+            .steps
+            .iter()
+            .filter(|s| s.access == Access::Read)
+            .map(|s| s.file)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Write set (files accessed with [`Access::Write`]).
+    pub fn write_set(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self
+            .steps
+            .iter()
+            .filter(|s| s.access == Access::Write)
+            .map(|s| s.file)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+pub use Access::{Read, Write};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    /// Pattern 1 of Experiment 1:
+    /// r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1), X-locks on the reads.
+    fn pattern1(f1: FileId, f2: FileId) -> BatchSpec {
+        BatchSpec::new(vec![
+            Step::read(f1, LockMode::Exclusive, 1.0),
+            Step::read(f2, LockMode::Exclusive, 5.0),
+            Step::write(f1, 0.2),
+            Step::write(f2, 1.0),
+        ])
+    }
+
+    #[test]
+    fn lock_compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible(Shared));
+        assert!(!Shared.compatible(Exclusive));
+        assert!(!Exclusive.compatible(Shared));
+        assert!(!Exclusive.compatible(Exclusive));
+    }
+
+    #[test]
+    fn mode_covers() {
+        use LockMode::*;
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+        assert_eq!(Shared.max(Exclusive), Exclusive);
+        assert_eq!(Shared.max(Shared), Shared);
+    }
+
+    #[test]
+    fn pattern1_totals() {
+        let b = pattern1(f(0), f(1));
+        assert_eq!(b.len(), 4);
+        assert!((b.total_cost() - 7.2).abs() < 1e-12);
+        assert!((b.total_declared() - 7.2).abs() < 1e-12);
+        assert!((b.declared_from(1) - 6.2).abs() < 1e-12);
+        assert!((b.declared_from(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lock_set_uses_strongest_mode() {
+        let b = BatchSpec::new(vec![
+            Step::read(f(3), LockMode::Shared, 1.0),
+            Step::write(f(3), 1.0),
+            Step::read(f(5), LockMode::Shared, 2.0),
+        ]);
+        let ls = b.lock_set();
+        assert_eq!(
+            ls,
+            vec![(f(3), LockMode::Exclusive), (f(5), LockMode::Shared)]
+        );
+    }
+
+    #[test]
+    fn needs_lock_request_skips_covered_steps() {
+        let b = pattern1(f(0), f(1));
+        assert!(b.needs_lock_request(0));
+        assert!(b.needs_lock_request(1));
+        assert!(!b.needs_lock_request(2), "X on F1 already held");
+        assert!(!b.needs_lock_request(3), "X on F2 already held");
+    }
+
+    #[test]
+    fn needs_lock_request_on_upgrade() {
+        // S then X on the same file: the X step needs a (new) request.
+        let b = BatchSpec::new(vec![
+            Step::read(f(0), LockMode::Shared, 1.0),
+            Step::write(f(0), 1.0),
+        ]);
+        assert!(b.needs_lock_request(0));
+        assert!(b.needs_lock_request(1));
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let b = pattern1(f(2), f(9));
+        assert_eq!(b.read_set(), vec![f(2), f(9)]);
+        assert_eq!(b.write_set(), vec![f(2), f(9)]);
+        let ro = BatchSpec::new(vec![Step::read(f(1), LockMode::Shared, 5.0)]);
+        assert_eq!(ro.read_set(), vec![f(1)]);
+        assert!(ro.write_set().is_empty());
+    }
+
+    #[test]
+    fn first_step_and_mode_on() {
+        let b = pattern1(f(0), f(1));
+        assert_eq!(b.first_step_on(f(1)), Some(1));
+        assert_eq!(b.first_step_on(f(7)), None);
+        assert_eq!(b.mode_on(f(0)), Some(LockMode::Exclusive));
+        assert_eq!(b.mode_on(f(7)), None);
+    }
+
+    #[test]
+    fn with_declared_overrides() {
+        let s = Step::read(f(0), LockMode::Shared, 5.0).with_declared(6.5);
+        assert_eq!(s.cost, 5.0);
+        assert_eq!(s.declared, 6.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_batch_panics() {
+        BatchSpec::new(vec![]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the workload model: conflict symmetry, weight
+//! consistency, and generator invariants.
+
+use bds_des::rng::Xoshiro256;
+use bds_workload::conflict::{
+    conflicting_files, conflicts, edge_weight, edge_weights, first_conflicting_step,
+};
+use bds_workload::gen::{Experiment1, Experiment2, WithEstimationError, WorkloadGen};
+use bds_workload::spec::{Access, Step};
+use bds_workload::{BatchSpec, FileId, LockMode};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = BatchSpec> {
+    prop::collection::vec((0u32..8, any::<bool>(), 0u32..10), 1..6).prop_map(|steps| {
+        BatchSpec::new(
+            steps
+                .into_iter()
+                .map(|(f, write, cost)| Step {
+                    file: FileId(f),
+                    mode: if write {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    },
+                    access: if write { Access::Write } else { Access::Read },
+                    cost: cost as f64,
+                    declared: cost as f64,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn conflict_is_symmetric(a in arb_spec(), b in arb_spec()) {
+        prop_assert_eq!(conflicts(&a, &b), conflicts(&b, &a));
+        prop_assert_eq!(conflicting_files(&a, &b), conflicting_files(&b, &a));
+    }
+
+    #[test]
+    fn edge_weights_consistent_with_first_step(a in arb_spec(), b in arb_spec()) {
+        match edge_weights(&a, &b) {
+            Some((w_ab, w_ba)) => {
+                let sb = first_conflicting_step(&a, &b).unwrap();
+                let sa = first_conflicting_step(&b, &a).unwrap();
+                prop_assert!((w_ab - b.declared_from(sb)).abs() < 1e-12);
+                prop_assert!((w_ba - a.declared_from(sa)).abs() < 1e-12);
+                // Weight never exceeds the whole declared demand.
+                prop_assert!(w_ab <= b.total_declared() + 1e-12);
+                prop_assert!(w_ba <= a.total_declared() + 1e-12);
+            }
+            None => {
+                prop_assert!(!conflicts(&a, &b));
+                prop_assert!(edge_weight(&a, &b).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn lock_set_covers_every_step(spec in arb_spec()) {
+        let ls = spec.lock_set();
+        for s in &spec.steps {
+            let (_, mode) = ls.iter().find(|(f, _)| *f == s.file).expect("file in lock set");
+            prop_assert!(mode.covers(s.mode));
+        }
+        // No duplicates.
+        let mut files: Vec<FileId> = ls.iter().map(|(f, _)| *f).collect();
+        files.dedup();
+        prop_assert_eq!(files.len(), ls.len());
+    }
+
+    #[test]
+    fn needs_lock_request_is_prefix_consistent(spec in arb_spec()) {
+        // A step needs a request iff no earlier step already covers it.
+        for i in 0..spec.len() {
+            let covered = spec.steps[..i]
+                .iter()
+                .any(|p| p.file == spec.steps[i].file && p.mode.covers(spec.steps[i].mode));
+            prop_assert_eq!(spec.needs_lock_request(i), !covered);
+        }
+        // The first step always needs one.
+        prop_assert!(spec.needs_lock_request(0));
+    }
+
+    #[test]
+    fn declared_from_is_monotone(spec in arb_spec()) {
+        for i in 1..spec.len() {
+            prop_assert!(spec.declared_from(i) <= spec.declared_from(i - 1) + 1e-12);
+        }
+        prop_assert!((spec.declared_from(0) - spec.total_declared()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp1_generator_invariants(seed in any::<u64>(), nf in 2u32..64) {
+        let mut g = Experiment1::new(nf, Xoshiro256::seed_from_u64(seed));
+        for _ in 0..20 {
+            let b = g.next_batch();
+            prop_assert_eq!(b.len(), 4);
+            prop_assert!((b.total_cost() - 7.2).abs() < 1e-12);
+            let ls = b.lock_set();
+            prop_assert_eq!(ls.len(), 2);
+            prop_assert!(ls.iter().all(|(f, m)| f.0 < nf && *m == LockMode::Exclusive));
+        }
+    }
+
+    #[test]
+    fn exp2_generator_invariants(seed in any::<u64>()) {
+        let mut g = Experiment2::new(Xoshiro256::seed_from_u64(seed));
+        for _ in 0..20 {
+            let b = g.next_batch();
+            prop_assert!(b.steps[0].file.0 < 8);
+            prop_assert!(b.steps[0].mode == LockMode::Shared);
+            prop_assert!((8..16).contains(&b.steps[1].file.0));
+            prop_assert!((8..16).contains(&b.steps[2].file.0));
+            prop_assert!(b.steps[1].file != b.steps[2].file);
+        }
+    }
+
+    #[test]
+    fn estimation_error_never_negative(seed in any::<u64>(), sigma in 0.0f64..12.0) {
+        let inner = Experiment1::new(16, Xoshiro256::seed_from_u64(seed));
+        let mut g = WithEstimationError::new(inner, sigma, Xoshiro256::seed_from_u64(seed ^ 1));
+        for _ in 0..20 {
+            let b = g.next_batch();
+            for s in &b.steps {
+                prop_assert!(s.declared >= 0.0);
+                prop_assert!(s.declared.is_finite());
+            }
+            // True costs untouched.
+            prop_assert!((b.total_cost() - 7.2).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! WTPG storage: nodes, conflict edges, precedence edges, weights.
+//!
+//! The graph is intentionally small — the paper's machine runs at most a
+//! few dozen concurrent batch transactions — so all structures are
+//! `BTreeMap`/`BTreeSet` based for deterministic iteration order (the
+//! simulator must be bit-for-bit reproducible).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a (general) transaction node in the WTPG.
+///
+/// `T0` and `Tf` are implicit: `T0`'s outgoing weights live on the nodes
+/// (remaining I/O demand) and every `Ti → Tf` weight is zero under the
+/// paper's cost model.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Direction of a decided (precedence) edge within a normalized pair
+/// `(lo, hi)` where `lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// `lo → hi` (the smaller id precedes the larger).
+    LoToHi,
+    /// `hi → lo`.
+    HiToLo,
+}
+
+impl Direction {
+    /// Flip the direction.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::LoToHi => Direction::HiToLo,
+            Direction::HiToLo => Direction::LoToHi,
+        }
+    }
+}
+
+/// State of the edge between a conflicting transaction pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeState {
+    /// Undecided: both serialization orders are still possible.
+    Conflict,
+    /// Decided: a precedence edge in the given direction.
+    Precedence(Direction),
+}
+
+/// Normalized unordered pair key: `lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PairKey {
+    /// Smaller transaction id.
+    pub lo: TxnId,
+    /// Larger transaction id.
+    pub hi: TxnId,
+}
+
+impl PairKey {
+    /// Normalize an unordered pair.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (a transaction cannot conflict with itself).
+    pub fn new(a: TxnId, b: TxnId) -> Self {
+        assert!(a != b, "self-conflict on {a:?}");
+        if a < b {
+            PairKey { lo: a, hi: b }
+        } else {
+            PairKey { lo: b, hi: a }
+        }
+    }
+
+    /// The other member of the pair.
+    pub fn other(&self, t: TxnId) -> TxnId {
+        if t == self.lo {
+            self.hi
+        } else {
+            debug_assert_eq!(t, self.hi);
+            self.lo
+        }
+    }
+}
+
+/// Weighted edge between a conflicting pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairEdge {
+    /// Weight of the `lo → hi` candidate direction (cost `hi` still pays
+    /// from the first step at which `lo` can block it, through commit).
+    pub w_lo_hi: f64,
+    /// Weight of the `hi → lo` candidate direction.
+    pub w_hi_lo: f64,
+    /// Conflict (undecided) or precedence (decided).
+    pub state: EdgeState,
+}
+
+impl PairEdge {
+    /// Weight of the directed edge `from → to` within this pair.
+    pub fn weight_from(&self, key: PairKey, from: TxnId) -> f64 {
+        if from == key.lo {
+            self.w_lo_hi
+        } else {
+            debug_assert_eq!(from, key.hi);
+            self.w_hi_lo
+        }
+    }
+
+    /// The decided direction, if any, as a `(from, to)` pair.
+    pub fn decided(&self, key: PairKey) -> Option<(TxnId, TxnId)> {
+        match self.state {
+            EdgeState::Conflict => None,
+            EdgeState::Precedence(Direction::LoToHi) => Some((key.lo, key.hi)),
+            EdgeState::Precedence(Direction::HiToLo) => Some((key.hi, key.lo)),
+        }
+    }
+}
+
+/// Per-transaction node data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Weight of `T0 → Ti`: the transaction's *remaining* I/O demand
+    /// before its commitment, in objects. This is the only weight that is
+    /// adjusted as the schedule proceeds.
+    pub t0_weight: f64,
+}
+
+/// The weighted transaction-precedence graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Wtpg {
+    nodes: BTreeMap<TxnId, Node>,
+    edges: BTreeMap<PairKey, PairEdge>,
+    /// Adjacency: for each node, the set of pair-neighbors (conflict or
+    /// precedence — both count as "conflicting" for chain-form purposes).
+    adj: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// Cached precedence successors/predecessors (subsets of `adj`),
+    /// maintained by `set_precedence`/`remove_txn` so that reachability
+    /// and cycle checks avoid per-edge map lookups.
+    succ: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    pred: BTreeMap<TxnId, BTreeSet<TxnId>>,
+}
+
+impl Wtpg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Wtpg::default()
+    }
+
+    /// Number of live transaction nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `t` is a live node.
+    pub fn contains(&self, t: TxnId) -> bool {
+        self.nodes.contains_key(&t)
+    }
+
+    /// Iterate over live transaction ids in ascending order.
+    pub fn txns(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Iterate over all pair edges.
+    pub fn edges(&self) -> impl Iterator<Item = (PairKey, &PairEdge)> + '_ {
+        self.edges.iter().map(|(k, e)| (*k, e))
+    }
+
+    /// Add a transaction with its initial `T0` weight (total declared I/O
+    /// demand).
+    ///
+    /// # Panics
+    /// Panics if the transaction is already present or the weight is
+    /// negative/non-finite.
+    pub fn add_txn(&mut self, t: TxnId, t0_weight: f64) {
+        assert!(
+            t0_weight.is_finite() && t0_weight >= 0.0,
+            "invalid T0 weight {t0_weight} for {t:?}"
+        );
+        let prev = self.nodes.insert(t, Node { t0_weight });
+        assert!(prev.is_none(), "duplicate transaction {t:?}");
+        self.adj.entry(t).or_default();
+        self.succ.entry(t).or_default();
+        self.pred.entry(t).or_default();
+    }
+
+    /// Remove a transaction (on commit or abort) together with all its
+    /// edges.
+    ///
+    /// # Panics
+    /// Panics if the transaction is not present.
+    pub fn remove_txn(&mut self, t: TxnId) {
+        self.nodes.remove(&t).expect("remove of unknown transaction");
+        let neighbors = self.adj.remove(&t).unwrap_or_default();
+        for n in neighbors {
+            self.edges.remove(&PairKey::new(t, n));
+            if let Some(set) = self.adj.get_mut(&n) {
+                set.remove(&t);
+            }
+            if let Some(set) = self.succ.get_mut(&n) {
+                set.remove(&t);
+            }
+            if let Some(set) = self.pred.get_mut(&n) {
+                set.remove(&t);
+            }
+        }
+        self.succ.remove(&t);
+        self.pred.remove(&t);
+    }
+
+    /// Current `T0 → t` weight (remaining I/O demand).
+    pub fn t0_weight(&self, t: TxnId) -> f64 {
+        self.nodes[&t].t0_weight
+    }
+
+    /// Update the `T0 → t` weight as the schedule proceeds.
+    ///
+    /// # Panics
+    /// Panics on unknown transaction or invalid weight.
+    pub fn set_t0_weight(&mut self, t: TxnId, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "invalid T0 weight {w}");
+        self.nodes
+            .get_mut(&t)
+            .unwrap_or_else(|| panic!("unknown transaction {t:?}"))
+            .t0_weight = w;
+    }
+
+    /// Declare a conflict between `a` and `b` with directed weights
+    /// `w_ab` (for `a → b`) and `w_ba` (for `b → a`). If the pair already
+    /// has an edge the weights are overwritten but a decided direction is
+    /// kept (weights of pair edges are fixed at declaration time in the
+    /// paper; re-declaration only happens when a transaction restarts).
+    pub fn declare_conflict(&mut self, a: TxnId, b: TxnId, w_ab: f64, w_ba: f64) {
+        assert!(self.contains(a) && self.contains(b), "unknown endpoint");
+        assert!(
+            w_ab.is_finite() && w_ab >= 0.0 && w_ba.is_finite() && w_ba >= 0.0,
+            "invalid conflict weights"
+        );
+        let key = PairKey::new(a, b);
+        let (w_lo_hi, w_hi_lo) = if a == key.lo { (w_ab, w_ba) } else { (w_ba, w_ab) };
+        let state = self
+            .edges
+            .get(&key)
+            .map(|e| e.state)
+            .unwrap_or(EdgeState::Conflict);
+        self.edges.insert(
+            key,
+            PairEdge {
+                w_lo_hi,
+                w_hi_lo,
+                state,
+            },
+        );
+        self.adj.get_mut(&a).unwrap().insert(b);
+        self.adj.get_mut(&b).unwrap().insert(a);
+    }
+
+    /// The edge between `a` and `b`, if any.
+    pub fn edge(&self, a: TxnId, b: TxnId) -> Option<&PairEdge> {
+        self.edges.get(&PairKey::new(a, b))
+    }
+
+    /// Pair-neighbors of `t` (conflict or precedence).
+    pub fn neighbors(&self, t: TxnId) -> impl Iterator<Item = TxnId> + '_ {
+        self.adj.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Degree of `t` in the (undirected) conflict graph.
+    pub fn degree(&self, t: TxnId) -> usize {
+        self.adj.get(&t).map_or(0, |s| s.len())
+    }
+
+    /// Decide the order of the pair: `from` precedes `to`, replacing the
+    /// conflict edge by a precedence edge.
+    ///
+    /// Returns `true` if the edge was newly decided, `false` if it already
+    /// had this direction.
+    ///
+    /// # Panics
+    /// Panics if no edge exists between the pair, or if the pair was
+    /// already decided in the *opposite* direction (the caller must check
+    /// consistency — a reversal would mean a non-serializable schedule).
+    pub fn set_precedence(&mut self, from: TxnId, to: TxnId) -> bool {
+        let key = PairKey::new(from, to);
+        let dir = if from == key.lo {
+            Direction::LoToHi
+        } else {
+            Direction::HiToLo
+        };
+        let edge = self
+            .edges
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("no edge between {from:?} and {to:?}"));
+        match edge.state {
+            EdgeState::Conflict => {
+                edge.state = EdgeState::Precedence(dir);
+                self.succ.get_mut(&from).expect("from node missing").insert(to);
+                self.pred.get_mut(&to).expect("to node missing").insert(from);
+                true
+            }
+            EdgeState::Precedence(d) if d == dir => false,
+            EdgeState::Precedence(_) => {
+                panic!("attempt to reverse decided edge {from:?} -> {to:?}")
+            }
+        }
+    }
+
+    /// Whether the pair is decided as `from → to`.
+    pub fn is_decided(&self, from: TxnId, to: TxnId) -> bool {
+        let key = PairKey::new(from, to);
+        self.edges
+            .get(&key)
+            .and_then(|e| e.decided(key))
+            .is_some_and(|(f, _)| f == from)
+    }
+
+    /// Whether the pair still has an undecided conflict edge.
+    pub fn is_conflict(&self, a: TxnId, b: TxnId) -> bool {
+        self.edge(a, b).is_some_and(|e| e.state == EdgeState::Conflict)
+    }
+
+    /// Directed precedence successors of `t` with edge weights.
+    pub fn successors(&self, t: TxnId) -> Vec<(TxnId, f64)> {
+        self.succ
+            .get(&t)
+            .into_iter()
+            .flatten()
+            .map(|&n| {
+                let key = PairKey::new(t, n);
+                (n, self.edges[&key].weight_from(key, t))
+            })
+            .collect()
+    }
+
+    /// Directed precedence successor ids of `t` (no weight lookups —
+    /// the hot path for reachability and cycle checks).
+    pub fn succ_ids(&self, t: TxnId) -> impl Iterator<Item = TxnId> + '_ {
+        self.succ.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Directed precedence predecessor ids of `t`.
+    pub fn pred_ids(&self, t: TxnId) -> impl Iterator<Item = TxnId> + '_ {
+        self.pred.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Directed precedence predecessors of `t`.
+    pub fn predecessors(&self, t: TxnId) -> Vec<TxnId> {
+        self.pred_ids(t).collect()
+    }
+
+    /// All undecided conflict pairs, in deterministic order.
+    pub fn conflict_pairs(&self) -> Vec<PairKey> {
+        self.edges
+            .iter()
+            .filter(|(_, e)| e.state == EdgeState::Conflict)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    /// Build the WTPG of Fig. 2-(b): T1: r(A:1)->r(B:3)->w(A:1),
+    /// T2: r(C:1)->w(A:2 steps of cost 1 each). Weights from the paper:
+    /// {T1->T2} = 2 (T2 blocked at its 2nd step, remaining 1+1),
+    /// {T2->T1} = 5 (T1 blocked at its 1st step, remaining 1+3+1),
+    /// T0 weights 5 and 3 (both just started).
+    fn fig2() -> Wtpg {
+        let mut g = Wtpg::new();
+        g.add_txn(t(1), 5.0);
+        g.add_txn(t(2), 3.0);
+        g.declare_conflict(t(1), t(2), 2.0, 5.0);
+        g
+    }
+
+    #[test]
+    fn fig2_weights() {
+        let g = fig2();
+        assert_eq!(g.t0_weight(t(1)), 5.0);
+        assert_eq!(g.t0_weight(t(2)), 3.0);
+        let key = PairKey::new(t(1), t(2));
+        let e = g.edge(t(1), t(2)).unwrap();
+        assert_eq!(e.weight_from(key, t(1)), 2.0);
+        assert_eq!(e.weight_from(key, t(2)), 5.0);
+        assert!(g.is_conflict(t(1), t(2)));
+    }
+
+    #[test]
+    fn decide_and_query_precedence() {
+        let mut g = fig2();
+        assert!(g.set_precedence(t(1), t(2)));
+        assert!(!g.set_precedence(t(1), t(2)), "idempotent");
+        assert!(g.is_decided(t(1), t(2)));
+        assert!(!g.is_decided(t(2), t(1)));
+        assert!(!g.is_conflict(t(1), t(2)));
+        assert_eq!(g.successors(t(1)), vec![(t(2), 2.0)]);
+        assert_eq!(g.predecessors(t(2)), vec![t(1)]);
+        assert!(g.successors(t(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reverse decided edge")]
+    fn reversing_decided_edge_panics() {
+        let mut g = fig2();
+        g.set_precedence(t(1), t(2));
+        g.set_precedence(t(2), t(1));
+    }
+
+    #[test]
+    fn remove_txn_drops_edges() {
+        let mut g = fig2();
+        g.remove_txn(t(1));
+        assert!(!g.contains(t(1)));
+        assert!(g.contains(t(2)));
+        assert!(g.edge(t(1), t(2)).is_none());
+        assert_eq!(g.degree(t(2)), 0);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn t0_weight_updates() {
+        let mut g = fig2();
+        g.set_t0_weight(t(1), 4.0);
+        assert_eq!(g.t0_weight(t(1)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_txn_panics() {
+        let mut g = fig2();
+        g.add_txn(t(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-conflict")]
+    fn self_conflict_panics() {
+        let mut g = Wtpg::new();
+        g.add_txn(t(1), 1.0);
+        g.declare_conflict(t(1), t(1), 0.0, 0.0);
+    }
+
+    #[test]
+    fn redeclare_keeps_decided_direction() {
+        let mut g = fig2();
+        g.set_precedence(t(1), t(2));
+        g.declare_conflict(t(1), t(2), 9.0, 9.0);
+        assert!(g.is_decided(t(1), t(2)));
+        let key = PairKey::new(t(1), t(2));
+        assert_eq!(g.edge(t(1), t(2)).unwrap().weight_from(key, t(1)), 9.0);
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let mut g = Wtpg::new();
+        for i in 1..=4 {
+            g.add_txn(t(i), 1.0);
+        }
+        g.declare_conflict(t(2), t(1), 1.0, 1.0);
+        g.declare_conflict(t(2), t(3), 1.0, 1.0);
+        g.declare_conflict(t(2), t(4), 1.0, 1.0);
+        assert_eq!(g.degree(t(2)), 3);
+        assert_eq!(g.degree(t(1)), 1);
+        let n: Vec<_> = g.neighbors(t(2)).collect();
+        assert_eq!(n, vec![t(1), t(3), t(4)]); // deterministic order
+    }
+
+    #[test]
+    fn conflict_pairs_lists_only_undecided() {
+        let mut g = Wtpg::new();
+        for i in 1..=3 {
+            g.add_txn(t(i), 1.0);
+        }
+        g.declare_conflict(t(1), t(2), 1.0, 1.0);
+        g.declare_conflict(t(2), t(3), 1.0, 1.0);
+        g.set_precedence(t(1), t(2));
+        let pairs = g.conflict_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], PairKey::new(t(2), t(3)));
+    }
+
+    #[test]
+    fn pairkey_other() {
+        let k = PairKey::new(t(5), t(2));
+        assert_eq!(k.lo, t(2));
+        assert_eq!(k.other(t(2)), t(5));
+        assert_eq!(k.other(t(5)), t(2));
+    }
+}

@@ -1,0 +1,134 @@
+//! Brute-force reference implementations used to validate the fast
+//! algorithms (exposed publicly so integration tests and benches can use
+//! them too).
+//!
+//! These enumerate every full serializable order — exponential in the
+//! number of undecided pairs — and are only suitable for small graphs.
+
+use crate::graph::{PairKey, TxnId, Wtpg};
+use crate::paths;
+
+/// Minimum critical path over **all** full serializable orders (every
+/// undecided pair oriented both ways, keeping only acyclic results).
+/// Works on arbitrary WTPGs, not just chain-form ones.
+///
+/// `forced` pins one pair's orientation, as in
+/// [`crate::chain::min_critical`]. Returns `f64::INFINITY` if no acyclic
+/// full order satisfies the constraints.
+pub fn min_critical_bruteforce(g: &Wtpg, forced: &[(TxnId, TxnId)]) -> f64 {
+    let pairs: Vec<PairKey> = g.conflict_pairs();
+    let n = pairs.len();
+    assert!(n <= 20, "brute force limited to 20 undecided pairs");
+    let mut best = f64::INFINITY;
+    'mask: for mask in 0u32..(1 << n) {
+        let mut trial = g.clone();
+        for (i, key) in pairs.iter().enumerate() {
+            let (from, to) = if mask & (1 << i) == 0 {
+                (key.lo, key.hi)
+            } else {
+                (key.hi, key.lo)
+            };
+            trial.set_precedence(from, to);
+        }
+        if forced.iter().any(|&(from, to)| !trial.is_decided(from, to)) {
+            continue 'mask;
+        }
+        if paths::has_cycle(&trial) {
+            continue 'mask;
+        }
+        best = best.min(paths::critical_path(&trial));
+    }
+    best
+}
+
+/// Exhaustive serializability check of a committed history: given the
+/// ordered list of committed transactions and the pairwise precedence
+/// constraints observed during the run, verify the constraint graph is
+/// acyclic (i.e. some serial order agrees with every constraint).
+pub fn is_serializable(constraints: &[(TxnId, TxnId)]) -> bool {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut adj: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+    let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
+    for &(a, b) in constraints {
+        adj.entry(a).or_default().insert(b);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    // Kahn's algorithm.
+    let mut indeg: BTreeMap<TxnId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    for succs in adj.values() {
+        for &s in succs {
+            *indeg.get_mut(&s).unwrap() += 1;
+        }
+    }
+    let mut queue: Vec<TxnId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut removed = 0;
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        if let Some(succs) = adj.get(&v) {
+            for &s in succs.clone().iter() {
+                let d = indeg.get_mut(&s).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+    }
+    removed == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn bruteforce_two_node() {
+        let mut g = Wtpg::new();
+        g.add_txn(t(1), 5.0);
+        g.add_txn(t(2), 3.0);
+        g.declare_conflict(t(1), t(2), 2.0, 5.0);
+        // T1->T2: max(5, 3, 5+2) = 7.  T2->T1: max(5, 3, 3+5) = 8.
+        assert_eq!(min_critical_bruteforce(&g, &[]), 7.0);
+        assert_eq!(min_critical_bruteforce(&g, &[(t(2), t(1))]), 8.0);
+    }
+
+    #[test]
+    fn bruteforce_handles_non_chain_graphs() {
+        // A triangle (not chain-form): only acyclic orientations counted.
+        let mut g = Wtpg::new();
+        for i in 1..=3 {
+            g.add_txn(t(i), 1.0);
+        }
+        g.declare_conflict(t(1), t(2), 1.0, 1.0);
+        g.declare_conflict(t(2), t(3), 1.0, 1.0);
+        g.declare_conflict(t(1), t(3), 1.0, 1.0);
+        let v = min_critical_bruteforce(&g, &[]);
+        // Best acyclic orientation of a triangle with all weights 1 and
+        // t0 = 1: a linear order, critical = 1 + 1 + 1 = 3? No — the
+        // transitive edge also exists: 1->2->3 plus 1->3 gives longest
+        // path max(1+1+1, 1+1) = 3.
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn serializability_checker() {
+        assert!(is_serializable(&[(t(1), t(2)), (t(2), t(3))]));
+        assert!(!is_serializable(&[
+            (t(1), t(2)),
+            (t(2), t(3)),
+            (t(3), t(1))
+        ]));
+        assert!(is_serializable(&[]));
+        // Duplicate constraints are fine.
+        assert!(is_serializable(&[(t(1), t(2)), (t(1), t(2))]));
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end serializability audit: run each locking scheduler through
+//! the full simulator and verify that the precedence constraints it
+//! committed to form an acyclic graph (i.e. every produced schedule has
+//! a serial equivalent).
+//!
+//! NODC is excluded (it is non-serializable by design — the paper's
+//! upper bound) and OPT is excluded (it certifies by validation instead
+//! of precedence edges; its correctness is tested at the unit level).
+
+use batchsched::config::{SimConfig, WorkloadKind};
+use batchsched::des::Duration;
+use batchsched::sched::SchedulerKind;
+use batchsched::sim::Simulator;
+use batchsched::wtpg::oracle::is_serializable;
+
+fn audit(kind: SchedulerKind, workload: WorkloadKind, lambda: f64, dd: u32, seed: u64) {
+    let mut cfg = SimConfig::new(kind, workload);
+    cfg.lambda_tps = lambda;
+    cfg.dd = dd;
+    cfg.seed = seed;
+    cfg.horizon = Duration::from_secs(400);
+    let mut sim = Simulator::new(&cfg);
+    sim.run_to_horizon();
+    let report = sim.report();
+    assert!(
+        report.completed > 0,
+        "{kind} produced no commits — audit vacuous"
+    );
+    let constraints = sim.drain_constraints();
+    assert!(
+        is_serializable(&constraints),
+        "{kind} emitted a cyclic precedence history ({} constraints)",
+        constraints.len()
+    );
+}
+
+const LOCKING: [SchedulerKind; 4] = [
+    SchedulerKind::Asl,
+    SchedulerKind::C2pl,
+    SchedulerKind::Gow,
+    SchedulerKind::Low(2),
+];
+
+#[test]
+fn exp1_moderate_load_is_serializable() {
+    for kind in LOCKING {
+        audit(kind, WorkloadKind::Exp1 { num_files: 16 }, 0.6, 1, 1);
+    }
+}
+
+#[test]
+fn exp1_heavy_load_is_serializable() {
+    for kind in LOCKING {
+        audit(kind, WorkloadKind::Exp1 { num_files: 16 }, 1.2, 1, 2);
+    }
+}
+
+#[test]
+fn exp1_small_database_is_serializable() {
+    // 8 files: maximum contention in Table 2.
+    for kind in LOCKING {
+        audit(kind, WorkloadKind::Exp1 { num_files: 8 }, 0.8, 1, 3);
+    }
+}
+
+#[test]
+fn exp1_with_declustering_is_serializable() {
+    for kind in LOCKING {
+        for dd in [2, 8] {
+            audit(kind, WorkloadKind::Exp1 { num_files: 16 }, 0.9, dd, 4);
+        }
+    }
+}
+
+#[test]
+fn exp2_hot_set_is_serializable() {
+    for kind in LOCKING {
+        audit(kind, WorkloadKind::Exp2, 1.0, 1, 5);
+    }
+}
+
+#[test]
+fn exp3_wrong_declarations_stay_serializable() {
+    // Estimation error changes *scheduling quality*, never correctness:
+    // the WTPG schedulers must stay serializable with garbage weights.
+    for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
+        audit(
+            kind,
+            WorkloadKind::Exp3 {
+                num_files: 16,
+                sigma: 10.0,
+            },
+            0.7,
+            1,
+            6,
+        );
+    }
+}
+
+#[test]
+fn many_seeds_stay_serializable() {
+    for seed in 10..20 {
+        audit(
+            SchedulerKind::Low(2),
+            WorkloadKind::Exp1 { num_files: 16 },
+            0.8,
+            2,
+            seed,
+        );
+        audit(SchedulerKind::Gow, WorkloadKind::Exp2, 0.8, 2, seed);
+    }
+}
