@@ -1,6 +1,10 @@
 //! Microbenchmarks of the discrete-event kernel: event queue push/pop,
 //! RNG throughput, FCFS server accounting and the DPN round-robin state
 //! machine.
+//!
+//! Plain `Instant`-based harness (no external benchmark framework): each
+//! case warms up, then runs for a fixed wall-clock budget and reports
+//! ns/iter.
 
 use bds_des::dist::{Exponential, Normal, Sample};
 use bds_des::fcfs::FcfsServer;
@@ -8,117 +12,119 @@ use bds_des::rng::Xoshiro256;
 use bds_des::time::{Duration, SimTime};
 use bds_des::EventQueue;
 use bds_machine::{Cohort, CohortId, Dpn};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = Xoshiro256::seed_from_u64(1);
-            for i in 0..10_000u64 {
-                q.schedule_at(SimTime::from_millis(rng.next_range(1_000_000)), i);
-            }
-            let mut sum = 0u64;
-            while let Some(s) = q.pop() {
-                sum = sum.wrapping_add(s.event);
-            }
-            black_box(sum)
-        })
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per:>14.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_event_queue() {
+    bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for i in 0..10_000u64 {
+            q.schedule_at(SimTime::from_millis(rng.next_range(1_000_000)), i);
+        }
+        let mut sum = 0u64;
+        while let Some(s) = q.pop() {
+            sum = sum.wrapping_add(s.event);
+        }
+        sum
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("xoshiro_next_f64_1k", |b| {
-        let mut rng = Xoshiro256::seed_from_u64(42);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += rng.next_f64();
-            }
-            black_box(acc)
-        })
+fn bench_rng() {
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    bench("xoshiro_next_f64_1k", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += rng.next_f64();
+        }
+        acc
     });
-    c.bench_function("exponential_sample_1k", |b| {
-        let mut rng = Xoshiro256::seed_from_u64(42);
-        let mut d = Exponential::new(1.2);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += d.sample(&mut rng);
-            }
-            black_box(acc)
-        })
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let mut exp = Exponential::new(1.2);
+    bench("exponential_sample_1k", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += exp.sample(&mut rng);
+        }
+        acc
     });
-    c.bench_function("normal_sample_1k", |b| {
-        let mut rng = Xoshiro256::seed_from_u64(42);
-        let mut d = Normal::new(0.0, 1.0);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += d.sample(&mut rng);
-            }
-            black_box(acc)
-        })
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let mut norm = Normal::new(0.0, 1.0);
+    bench("normal_sample_1k", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += norm.sample(&mut rng);
+        }
+        acc
     });
 }
 
-fn bench_fcfs(c: &mut Criterion) {
-    c.bench_function("fcfs_enqueue_1k", |b| {
-        b.iter(|| {
-            let mut s = FcfsServer::new(SimTime::ZERO);
-            for i in 0..1000u64 {
-                black_box(s.enqueue(SimTime::from_millis(i * 3), Duration::from_millis(2)));
-            }
-            black_box(s.total_demand())
-        })
+fn bench_fcfs() {
+    bench("fcfs_enqueue_1k", || {
+        let mut s = FcfsServer::new(SimTime::ZERO);
+        for i in 0..1000u64 {
+            black_box(s.enqueue(SimTime::from_millis(i * 3), Duration::from_millis(2)));
+        }
+        s.total_demand()
     });
 }
 
-fn bench_dpn_round_robin(c: &mut Criterion) {
-    c.bench_function("dpn_round_robin_64_cohorts", |b| {
-        b.iter(|| {
-            let mut d = Dpn::new();
-            let mut next = d
-                .add_cohort(
-                    SimTime::ZERO,
-                    Cohort {
-                        id: CohortId(0),
-                        remaining: Duration::from_millis(5000),
-                        quantum: Duration::from_millis(125),
-                    },
-                )
-                .unwrap();
-            for i in 1..64u64 {
-                d.add_cohort(
-                    SimTime::ZERO,
-                    Cohort {
-                        id: CohortId(i),
-                        remaining: Duration::from_millis(5000),
-                        quantum: Duration::from_millis(125),
-                    },
-                );
+fn bench_dpn_round_robin() {
+    bench("dpn_round_robin_64_cohorts", || {
+        let mut d = Dpn::new();
+        let mut next = d
+            .add_cohort(
+                SimTime::ZERO,
+                Cohort {
+                    id: CohortId(0),
+                    remaining: Duration::from_millis(5000),
+                    quantum: Duration::from_millis(125),
+                },
+            )
+            .unwrap();
+        for i in 1..64u64 {
+            d.add_cohort(
+                SimTime::ZERO,
+                Cohort {
+                    id: CohortId(i),
+                    remaining: Duration::from_millis(5000),
+                    quantum: Duration::from_millis(125),
+                },
+            );
+        }
+        let mut finished = 0u32;
+        loop {
+            let out = d.on_slice_end(next);
+            if out.finished.is_some() {
+                finished += 1;
             }
-            let mut finished = 0u32;
-            loop {
-                let out = d.on_slice_end(next);
-                if out.finished.is_some() {
-                    finished += 1;
-                }
-                match out.next_slice_end {
-                    Some(t) => next = t,
-                    None => break,
-                }
+            match out.next_slice_end {
+                Some(t) => next = t,
+                None => break,
             }
-            black_box(finished)
-        })
+        }
+        finished
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_rng,
-    bench_fcfs,
-    bench_dpn_round_robin
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_rng();
+    bench_fcfs();
+    bench_dpn_round_robin();
+}

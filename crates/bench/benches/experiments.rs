@@ -8,51 +8,51 @@
 //!   Table 4 / Fig. 12).
 //! * `fig13_point/...` — one estimation-error point (Exp. 3: Fig. 13 /
 //!   Table 5).
+//!
+//! Plain `Instant`-based harness (no external benchmark framework);
+//! whole-simulation cases run a small fixed iteration count and report
+//! ms/iter.
 
 use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::Duration;
 use batchsched::sched::SchedulerKind;
 use batchsched::sim::Simulator;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 const BENCH_HORIZON_SECS: u64 = 200;
+const ITERS: u32 = 3;
 
-fn bench_fig8_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_point");
-    group.sample_size(10);
+fn bench_sim(name: &str, cfg: &SimConfig) {
+    black_box(Simulator::run(cfg));
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(Simulator::run(cfg));
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / f64::from(ITERS);
+    println!("{name:<44} {per:>12.2} ms/iter  ({ITERS} iters)");
+}
+
+fn bench_fig8_points() {
     for kind in SchedulerKind::PAPER_SET {
         let mut cfg = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
         cfg.lambda_tps = 0.8;
         cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(Simulator::run(cfg))),
-        );
+        bench_sim(&format!("fig8_point/{}", kind.label()), &cfg);
     }
-    group.finish();
 }
 
-fn bench_table4_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_point");
-    group.sample_size(10);
+fn bench_table4_points() {
     for kind in SchedulerKind::PAPER_SET {
         let mut cfg = SimConfig::new(kind, WorkloadKind::Exp2);
         cfg.lambda_tps = 0.8;
         cfg.dd = 2;
         cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(Simulator::run(cfg))),
-        );
+        bench_sim(&format!("table4_point/{}", kind.label()), &cfg);
     }
-    group.finish();
 }
 
-fn bench_fig13_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_point");
-    group.sample_size(10);
+fn bench_fig13_points() {
     for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
         let mut cfg = SimConfig::new(
             kind,
@@ -63,34 +63,22 @@ fn bench_fig13_points(c: &mut Criterion) {
         );
         cfg.lambda_tps = 0.6;
         cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(Simulator::run(cfg))),
-        );
+        bench_sim(&format!("fig13_point/{}", kind.label()), &cfg);
     }
-    group.finish();
 }
 
-fn bench_overloaded_c2pl(c: &mut Criterion) {
+fn bench_overloaded_c2pl() {
     // The stress case: C2PL at mpl = ∞ beyond saturation grows hundreds
     // of live transactions (the paper's chains of blocking).
-    let mut group = c.benchmark_group("overload");
-    group.sample_size(10);
     let mut cfg = SimConfig::new(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files: 16 });
     cfg.lambda_tps = 1.2;
     cfg.horizon = Duration::from_secs(BENCH_HORIZON_SECS);
-    group.bench_function("c2pl_lambda1.2", |b| {
-        b.iter(|| black_box(Simulator::run(&cfg)))
-    });
-    group.finish();
+    bench_sim("overload/c2pl_lambda1.2", &cfg);
 }
 
-criterion_group!(
-    benches,
-    bench_fig8_points,
-    bench_table4_points,
-    bench_fig13_points,
-    bench_overloaded_c2pl
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig8_points();
+    bench_table4_points();
+    bench_fig13_points();
+    bench_overloaded_c2pl();
+}

@@ -1,15 +1,37 @@
 //! Microbenchmarks of scheduler decision latency: admission + lock
 //! request + commit for each of the paper's six schedulers on a
 //! representative contended state.
+//!
+//! Plain `Instant`-based harness (no external benchmark framework).
+//! Cases that consume their state rebuild it each iteration; the
+//! reported figure therefore includes setup, which is the same for all
+//! schedulers and cancels in comparisons.
 
 use batchsched::sched::lock_table::LockTable;
-use batchsched::sched::{Scheduler, SchedulerKind};
+use batchsched::sched::{Scheduler, SchedulerKind, StartDecision};
 use batchsched::workload::gen::{Experiment1, WorkloadGen};
-use batchsched::workload::{BatchSpec, LockMode};
+use batchsched::workload::spec::Step;
+use batchsched::workload::{BatchSpec, FileId, LockMode};
 use bds_des::rng::Xoshiro256;
 use bds_machine::CostBook;
 use bds_wtpg::TxnId;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per:>14.1} ns/iter  ({iters} iters)");
+}
 
 /// Build a scheduler with `n` live Experiment-1 transactions, each having
 /// acquired its first lock where possible.
@@ -23,7 +45,6 @@ fn loaded_scheduler(kind: SchedulerKind, n: u64) -> (Box<dyn Scheduler>, Vec<Bat
         specs.push(spec.clone());
         let id = TxnId(i);
         sched.register(id, spec);
-        use batchsched::sched::StartDecision;
         if sched.try_start(id).decision == StartDecision::Admit {
             let _ = sched.request(id, 0);
         }
@@ -31,67 +52,47 @@ fn loaded_scheduler(kind: SchedulerKind, n: u64) -> (Box<dyn Scheduler>, Vec<Bat
     (sched, specs)
 }
 
-fn bench_decision_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("admit_request_commit");
+fn bench_decision_cycle() {
     for kind in SchedulerKind::PAPER_SET {
-        for &n in &[8u64, 64] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &n,
-                |b, &n| {
-                    b.iter_batched(
-                        || loaded_scheduler(kind, n),
-                        |(mut sched, _)| {
-                            let id = TxnId(10_000);
-                            let spec = BatchSpec::new(vec![
-                                batchsched::workload::spec::Step::read(
-                                    batchsched::workload::FileId(3),
-                                    LockMode::Exclusive,
-                                    1.0,
-                                ),
-                                batchsched::workload::spec::Step::write(
-                                    batchsched::workload::FileId(9),
-                                    1.0,
-                                ),
-                            ]);
-                            sched.register(id, spec);
-                            use batchsched::sched::StartDecision;
-                            if sched.try_start(id).decision == StartDecision::Admit {
-                                let _ = black_box(sched.request(id, 0));
-                                let _ = black_box(sched.request(id, 1));
-                                let _ = sched.validate(id);
-                                let _ = black_box(sched.commit(id));
-                            }
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
+        for n in [8u64, 64] {
+            bench(
+                &format!("admit_request_commit/{}/{n}", kind.label()),
+                || {
+                    let (mut sched, _) = loaded_scheduler(kind, n);
+                    let id = TxnId(10_000);
+                    let spec = BatchSpec::new(vec![
+                        Step::read(FileId(3), LockMode::Exclusive, 1.0),
+                        Step::write(FileId(9), 1.0),
+                    ]);
+                    sched.register(id, spec);
+                    if sched.try_start(id).decision == StartDecision::Admit {
+                        let _ = black_box(sched.request(id, 0));
+                        let _ = black_box(sched.request(id, 1));
+                        let _ = sched.validate(id);
+                        let _ = black_box(sched.commit(id));
+                    }
                 },
             );
         }
     }
-    group.finish();
 }
 
-fn bench_lock_table(c: &mut Criterion) {
-    c.bench_function("lock_table_grant_release_64", |b| {
-        b.iter_batched(
-            LockTable::new,
-            |mut lt| {
-                use batchsched::workload::FileId;
-                for i in 0..64u64 {
-                    // One exclusive lock per distinct file plus a shared
-                    // lock on a common file (always compatible).
-                    lt.grant(TxnId(i), FileId(i as u32 + 100), LockMode::Exclusive);
-                    lt.grant(TxnId(i), FileId(0), LockMode::Shared);
-                }
-                for i in 0..64u64 {
-                    black_box(lt.release_all(TxnId(i)));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_lock_table() {
+    bench("lock_table_grant_release_64", || {
+        let mut lt = LockTable::new();
+        for i in 0..64u64 {
+            // One exclusive lock per distinct file plus a shared
+            // lock on a common file (always compatible).
+            lt.grant(TxnId(i), FileId(i as u32 + 100), LockMode::Exclusive);
+            lt.grant(TxnId(i), FileId(0), LockMode::Shared);
+        }
+        for i in 0..64u64 {
+            black_box(lt.release_all(TxnId(i)));
+        }
     });
 }
 
-criterion_group!(benches, bench_decision_cycle, bench_lock_table);
-criterion_main!(benches);
+fn main() {
+    bench_decision_cycle();
+    bench_lock_table();
+}

@@ -4,12 +4,30 @@
 //! These are the operations whose CPU cost the paper models with
 //! `kwtpgtime`/`chaintime`/`toptime`; the benchmarks show the real cost
 //! of our implementations at representative graph sizes.
+//!
+//! Plain `Instant`-based harness (no external benchmark framework).
 
 use bds_wtpg::chain::{accepts_new_txn, is_chain_form, min_critical};
 use bds_wtpg::eq::eval_grant;
 use bds_wtpg::paths::{critical_path, has_cycle, propagate, reachable};
 use bds_wtpg::{TxnId, Wtpg};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per:>14.1} ns/iter  ({iters} iters)");
+}
 
 fn t(i: u64) -> TxnId {
     TxnId(i)
@@ -54,105 +72,52 @@ fn dense_graph(n: u64) -> Wtpg {
     g
 }
 
-fn bench_critical_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("critical_path");
-    for &n in &[8u64, 32, 128] {
+fn main() {
+    for n in [8u64, 32, 128] {
         let g = dense_graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(critical_path(g)))
+        bench(&format!("critical_path/{n}"), || {
+            black_box(critical_path(&g))
         });
     }
-    group.finish();
-}
-
-fn bench_reachability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reachable");
-    for &n in &[32u64, 128, 512] {
+    for n in [32u64, 128, 512] {
         let g = dense_graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(reachable(g, t(0), t(n - 1))))
+        bench(&format!("reachable/{n}"), || {
+            black_box(reachable(&g, t(0), t(n - 1)))
         });
     }
-    group.finish();
-}
-
-fn bench_has_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("has_cycle");
-    for &n in &[32u64, 256] {
+    for n in [32u64, 256] {
         let g = dense_graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(has_cycle(g)))
-        });
+        bench(&format!("has_cycle/{n}"), || black_box(has_cycle(&g)));
     }
-    group.finish();
-}
-
-fn bench_gow_chain_optimizer(c: &mut Criterion) {
-    // The paper charges `chaintime = 30 ms` (4 MIPS CPU) for this
-    // computation; measure our implementation on growing chains.
-    let mut group = c.benchmark_group("gow_min_critical");
-    for &n in &[4u64, 8, 16, 32] {
+    // The paper charges `chaintime = 30 ms` (4 MIPS CPU) for the chain
+    // optimizer; measure our implementation on growing chains.
+    for n in [4u64, 8, 16, 32] {
         let g = chain_graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(min_critical(g, &[])))
+        bench(&format!("gow_min_critical/{n}"), || {
+            black_box(min_critical(&g, &[]))
         });
     }
-    group.finish();
-}
-
-fn bench_gow_chain_form_test(c: &mut Criterion) {
     // `toptime = 5 ms` in the paper.
-    let mut group = c.benchmark_group("gow_admission");
-    for &n in &[8u64, 64] {
+    for n in [8u64, 64] {
         let g = chain_graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| {
-                black_box(is_chain_form(g));
-                black_box(accepts_new_txn(g, &[t(0)]))
-            })
+        bench(&format!("gow_admission/{n}"), || {
+            black_box(is_chain_form(&g));
+            black_box(accepts_new_txn(&g, &[t(0)]))
         });
     }
-    group.finish();
-}
-
-fn bench_low_eval_grant(c: &mut Criterion) {
     // `kwtpgtime = 10 ms` in the paper (E(q) evaluation).
-    let mut group = c.benchmark_group("low_eval_grant");
-    for &n in &[8u64, 32, 128] {
+    for n in [8u64, 32, 128] {
         let g = dense_graph(n);
         let orient = [(t(2), t(4))];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(eval_grant(g, &orient)))
+        bench(&format!("low_eval_grant/{n}"), || {
+            black_box(eval_grant(&g, &orient))
         });
     }
-    group.finish();
-}
-
-fn bench_propagate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("propagate");
-    for &n in &[32u64, 128] {
+    for n in [32u64, 128] {
         let g = dense_graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter_batched(
-                || g.clone(),
-                |mut g| {
-                    let _ = black_box(propagate(&mut g));
-                },
-                criterion::BatchSize::SmallInput,
-            )
+        bench(&format!("propagate/{n}"), || {
+            let mut g2 = g.clone();
+            black_box(propagate(&mut g2).is_ok())
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_critical_path,
-    bench_reachability,
-    bench_has_cycle,
-    bench_gow_chain_optimizer,
-    bench_gow_chain_form_test,
-    bench_low_eval_grant,
-    bench_propagate
-);
-criterion_main!(benches);

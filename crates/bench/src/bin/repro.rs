@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv] [artifact...]
+//! repro [--quick] [--csv] [--jobs N] [artifact...]
 //! ```
 //!
 //! With no artifact arguments, every table and figure is regenerated in
@@ -9,20 +9,51 @@
 //! table5). The pseudo-artifact `ablations` runs the design-knob
 //! ablation studies. `--quick` runs reduced-fidelity settings (shorter
 //! horizon, fewer bisection iterations) for smoke testing; `--csv`
-//! emits CSV instead of aligned text tables.
+//! emits CSV instead of aligned text tables; `--jobs N` fans
+//! independent simulation cells across `N` worker threads (default: all
+//! cores; the tables are byte-identical at any job count).
+//!
+//! Per-artifact wall-clock timings, simulator-invocation counts, and
+//! cache-hit counts are written as machine-readable JSON to
+//! `BENCH_repro.json` in the working directory.
 
 use batchsched::des::Duration;
-use batchsched::experiments::{run_artifact, ExpOptions, ARTIFACT_IDS};
+use batchsched::experiments::{default_jobs, run_artifact_with, ExpOptions, ARTIFACT_IDS};
+use batchsched::metrics::JsonObj;
+use batchsched::parallel::ExecCtx;
 use std::time::Instant;
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: repro [--quick] [--csv] [--jobs N] [artifact...]");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let mut ids: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let mut jobs = default_jobs();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "--csv" => {}
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    usage_exit("--jobs requires a positive integer");
+                };
+                if n == 0 {
+                    usage_exit("--jobs requires a positive integer");
+                }
+                jobs = n;
+            }
+            other if other.starts_with("--") => {
+                usage_exit(&format!("unknown flag '{other}'"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
     if ids.is_empty() {
         ids = ARTIFACT_IDS.iter().map(|s| s.to_string()).collect();
     }
@@ -35,22 +66,31 @@ fn main() {
     let opts = if quick {
         let mut o = ExpOptions::quick();
         o.horizon = Duration::from_secs(300);
+        o.jobs = jobs;
         o
     } else {
-        ExpOptions::default()
+        ExpOptions::default().with_jobs(jobs)
     };
     eprintln!(
-        "repro: {} artifact(s), horizon {:.0}s, {} bisection iterations",
+        "repro: {} artifact(s), horizon {:.0}s, {} bisection iterations, {} job(s)",
         ids.len(),
         opts.horizon.as_secs_f64(),
-        opts.bisect_iters
+        opts.bisect_iters,
+        opts.jobs
     );
+    // One context for the whole run: artifacts share the point cache, so
+    // e.g. fig10 assembles entirely from table3's grid.
+    let ctx = ExecCtx::new(opts.jobs);
+    let t_all = Instant::now();
+    let mut timings: Vec<String> = Vec::new();
     for id in &ids {
         let t0 = Instant::now();
+        let runs_before = ctx.cache().sim_runs();
+        let hits_before = ctx.cache().hits();
         let tables = if id == "ablations" {
-            batchsched::ablations::run_all(&opts)
+            batchsched::ablations::run_all_with(&opts, &ctx)
         } else {
-            vec![run_artifact(id, &opts).table]
+            vec![run_artifact_with(id, &opts, &ctx).table]
         };
         for table in tables {
             if csv {
@@ -60,6 +100,32 @@ fn main() {
                 println!("{}", table.render());
             }
         }
-        eprintln!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        let sim_runs = ctx.cache().sim_runs() - runs_before;
+        let cache_hits = ctx.cache().hits() - hits_before;
+        eprintln!("[{id} done in {secs:.1}s — {sim_runs} sim runs, {cache_hits} cache hits]");
+        let mut o = JsonObj::new();
+        o.str("id", id);
+        o.num("secs", secs);
+        o.int("sim_runs", sim_runs);
+        o.int("cache_hits", cache_hits);
+        timings.push(o.finish());
+    }
+    let mut bench = JsonObj::new();
+    bench.str("bin", "repro");
+    bench.int("jobs", opts.jobs as u64);
+    bench.raw("quick", if quick { "true" } else { "false" });
+    bench.num("horizon_secs", opts.horizon.as_secs_f64());
+    bench.int("bisect_iters", u64::from(opts.bisect_iters));
+    bench.num("total_secs", t_all.elapsed().as_secs_f64());
+    bench.int("total_sim_runs", ctx.cache().sim_runs());
+    bench.int("total_cache_hits", ctx.cache().hits());
+    bench.int("distinct_points", ctx.cache().len() as u64);
+    bench.raw("artifacts", &format!("[{}]", timings.join(",")));
+    let json = bench.finish();
+    if let Err(e) = std::fs::write("BENCH_repro.json", format!("{json}\n")) {
+        eprintln!("warning: could not write BENCH_repro.json: {e}");
+    } else {
+        eprintln!("wrote BENCH_repro.json");
     }
 }

@@ -17,8 +17,8 @@
 use crate::config::{SimConfig, WorkloadKind};
 use crate::driver;
 use crate::experiments::ExpOptions;
+use crate::parallel::ExecCtx;
 use crate::report::{f1, f2, Table};
-use crate::sim::Simulator;
 use bds_des::time::Duration;
 use bds_sched::SchedulerKind;
 
@@ -31,67 +31,83 @@ fn base(opts: &ExpOptions, kind: SchedulerKind, workload: WorkloadKind) -> SimCo
 
 /// LOW's K: throughput at RT = 70 s for K ∈ {1, 2, 3, 4} on the blocking
 /// workload (Exp. 1) and the hot-set workload (Exp. 2), DD = 1.
-pub fn low_k_sweep(opts: &ExpOptions) -> Table {
+pub fn low_k_sweep(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let mut t = Table::new(
         "Ablation: LOW's conflict bound K — TPS at RT=70s, DD=1",
         vec!["K", "Exp.1 (16 files)", "Exp.2 (hot set)"],
     );
-    for k in [1u32, 2, 3, 4] {
-        let exp1 = driver::throughput_at_rt(
-            &base(opts, SchedulerKind::Low(k), WorkloadKind::Exp1 { num_files: 16 }),
-            70.0,
-            0.05,
-            1.4,
-            opts.bisect_iters,
-        );
-        let exp2 = driver::throughput_at_rt(
-            &base(opts, SchedulerKind::Low(k), WorkloadKind::Exp2),
-            70.0,
-            0.05,
-            1.4,
-            opts.bisect_iters,
-        );
-        t.push_row(vec![
-            k.to_string(),
-            f2(exp1.throughput_tps()),
-            f2(exp2.throughput_tps()),
-        ]);
+    let ks = [1u32, 2, 3, 4];
+    let cells: Vec<SimConfig> = ks
+        .iter()
+        .flat_map(|&k| {
+            [
+                base(
+                    opts,
+                    SchedulerKind::Low(k),
+                    WorkloadKind::Exp1 { num_files: 16 },
+                ),
+                base(opts, SchedulerKind::Low(k), WorkloadKind::Exp2),
+            ]
+        })
+        .collect();
+    let tputs = ctx.map(&cells, |_, cfg| {
+        driver::throughput_at_rt(ctx, cfg, 70.0, 0.05, 1.4, opts.bisect_iters).throughput_tps()
+    });
+    for (i, k) in ks.iter().enumerate() {
+        t.push_row(vec![k.to_string(), f2(tputs[2 * i]), f2(tputs[2 * i + 1])]);
     }
     t
 }
 
 /// Retry delay: mean RT of GOW and LOW at λ = 0.9, DD = 1 with the
 /// delayed-request re-submission timer at 250 / 1000 / 4000 ms.
-pub fn retry_delay_sweep(opts: &ExpOptions) -> Table {
+pub fn retry_delay_sweep(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let mut t = Table::new(
         "Ablation: delayed-request retry timer — mean RT (s) at λ=0.9, DD=1",
         vec!["retry delay (ms)", "GOW", "LOW"],
     );
-    for ms in [250u64, 1000, 4000] {
-        let mut row = vec![ms.to_string()];
-        for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
-            let mut cfg = base(opts, kind, WorkloadKind::Exp1 { num_files: 16 });
-            cfg.lambda_tps = 0.9;
-            cfg.retry_delay = Duration::from_millis(ms);
-            row.push(f1(Simulator::run(&cfg).mean_rt_secs()));
-        }
-        t.push_row(row);
+    let delays = [250u64, 1000, 4000];
+    let cells: Vec<SimConfig> = delays
+        .iter()
+        .flat_map(|&ms| {
+            [SchedulerKind::Gow, SchedulerKind::Low(2)].map(|kind| {
+                let mut cfg = base(opts, kind, WorkloadKind::Exp1 { num_files: 16 });
+                cfg.lambda_tps = 0.9;
+                cfg.retry_delay = Duration::from_millis(ms);
+                cfg
+            })
+        })
+        .collect();
+    let rts = ctx.map(&cells, |_, cfg| ctx.run_point(cfg).mean_rt_secs());
+    for (i, ms) in delays.iter().enumerate() {
+        t.push_row(vec![ms.to_string(), f1(rts[2 * i]), f1(rts[2 * i + 1])]);
     }
     t
 }
 
 /// Admission scan cap: GOW throughput and CN utilization at λ = 1.0,
 /// DD = 1 with 2 / 16 / 64 costed admission tests per sweep.
-pub fn admission_scan_sweep(opts: &ExpOptions) -> Table {
+pub fn admission_scan_sweep(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let mut t = Table::new(
         "Ablation: admission scan cap — GOW at λ=1.0, DD=1",
         vec!["scan cap", "completed", "mean RT (s)", "CN util"],
     );
-    for cap in [2usize, 16, 64] {
-        let mut cfg = base(opts, SchedulerKind::Gow, WorkloadKind::Exp1 { num_files: 16 });
-        cfg.lambda_tps = 1.0;
-        cfg.admission_scan_limit = cap;
-        let r = Simulator::run(&cfg);
+    let caps = [2usize, 16, 64];
+    let cells: Vec<SimConfig> = caps
+        .iter()
+        .map(|&cap| {
+            let mut cfg = base(
+                opts,
+                SchedulerKind::Gow,
+                WorkloadKind::Exp1 { num_files: 16 },
+            );
+            cfg.lambda_tps = 1.0;
+            cfg.admission_scan_limit = cap;
+            cfg
+        })
+        .collect();
+    let reports = ctx.map(&cells, |_, cfg| ctx.run_point(cfg));
+    for (cap, r) in caps.iter().zip(&reports) {
         t.push_row(vec![
             cap.to_string(),
             r.completed.to_string(),
@@ -104,7 +120,7 @@ pub fn admission_scan_sweep(opts: &ExpOptions) -> Table {
 
 /// WDL vs the paper's six: throughput at RT = 70 s (Exp. 1 and Exp. 2,
 /// DD = 1) and restarts at λ = 0.8.
-pub fn wdl_comparison(opts: &ExpOptions) -> Table {
+pub fn wdl_comparison(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let mut t = Table::new(
         "Extension: wait-depth limited locking vs the paper's schedulers (DD=1)",
         vec![
@@ -116,8 +132,9 @@ pub fn wdl_comparison(opts: &ExpOptions) -> Table {
     );
     let mut kinds = vec![SchedulerKind::Wdl];
     kinds.extend(SchedulerKind::PAPER_SET);
-    for kind in kinds {
+    let rows = ctx.map(&kinds, |_, &kind| {
         let exp1 = driver::throughput_at_rt(
+            ctx,
             &base(opts, kind, WorkloadKind::Exp1 { num_files: 16 }),
             70.0,
             0.05,
@@ -125,6 +142,7 @@ pub fn wdl_comparison(opts: &ExpOptions) -> Table {
             opts.bisect_iters,
         );
         let exp2 = driver::throughput_at_rt(
+            ctx,
             &base(opts, kind, WorkloadKind::Exp2),
             70.0,
             0.05,
@@ -133,30 +151,40 @@ pub fn wdl_comparison(opts: &ExpOptions) -> Table {
         );
         let mut heavy = base(opts, kind, WorkloadKind::Exp1 { num_files: 16 });
         heavy.lambda_tps = 0.8;
-        let hr = Simulator::run(&heavy);
-        t.push_row(vec![
+        let hr = ctx.run_point(&heavy);
+        vec![
             kind.label(),
             f2(exp1.throughput_tps()),
             f2(exp2.throughput_tps()),
             hr.restarts.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
 
-/// All ablations in order.
+/// All ablations in order, sharing one point cache.
 pub fn run_all(opts: &ExpOptions) -> Vec<Table> {
+    let ctx = ExecCtx::new(opts.jobs);
+    run_all_with(opts, &ctx)
+}
+
+/// All ablations in order on a caller-provided context.
+pub fn run_all_with(opts: &ExpOptions, ctx: &ExecCtx) -> Vec<Table> {
     vec![
-        low_k_sweep(opts),
-        retry_delay_sweep(opts),
-        admission_scan_sweep(opts),
-        wdl_comparison(opts),
+        low_k_sweep(opts, ctx),
+        retry_delay_sweep(opts, ctx),
+        admission_scan_sweep(opts, ctx),
+        wdl_comparison(opts, ctx),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::Simulator;
 
     fn quick() -> ExpOptions {
         let mut o = ExpOptions::quick();
@@ -167,17 +195,15 @@ mod tests {
 
     #[test]
     fn low_k_sweep_shape() {
-        let t = low_k_sweep(&quick());
+        let opts = quick();
+        let t = low_k_sweep(&opts, &ExecCtx::new(opts.jobs));
         assert_eq!(t.rows.len(), 4);
         assert_eq!(t.header.len(), 3);
     }
 
     #[test]
     fn wdl_runs_end_to_end() {
-        let mut cfg = SimConfig::new(
-            SchedulerKind::Wdl,
-            WorkloadKind::Exp1 { num_files: 16 },
-        );
+        let mut cfg = SimConfig::new(SchedulerKind::Wdl, WorkloadKind::Exp1 { num_files: 16 });
         cfg.lambda_tps = 0.5;
         cfg.horizon = Duration::from_secs(400);
         let r = Simulator::run(&cfg);
@@ -188,7 +214,8 @@ mod tests {
 
     #[test]
     fn retry_delay_changes_results() {
-        let t = retry_delay_sweep(&quick());
+        let opts = quick();
+        let t = retry_delay_sweep(&opts, &ExecCtx::serial());
         assert_eq!(t.rows.len(), 3);
     }
 }

@@ -5,14 +5,13 @@ use bds_des::time::Duration;
 use bds_machine::CostBook;
 use bds_sched::SchedulerKind;
 use bds_workload::gen::{
-    CustomPattern, Experiment1, Experiment2, WithEstimationError, WorkloadGen,
-    EXP2_HOT_FILES, EXP2_READ_ONLY_FILES,
+    CustomPattern, Experiment1, Experiment2, WithEstimationError, WorkloadGen, EXP2_HOT_FILES,
+    EXP2_READ_ONLY_FILES,
 };
 use bds_workload::pattern::Pattern;
-use serde::{Deserialize, Serialize};
 
 /// Which workload to generate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadKind {
     /// Experiment 1 (§5.1): Pattern 1 over `num_files` files.
     Exp1 {
@@ -42,9 +41,7 @@ impl WorkloadKind {
     /// Number of files in the database.
     pub fn num_files(&self) -> u32 {
         match self {
-            WorkloadKind::Exp1 { num_files } | WorkloadKind::Exp3 { num_files, .. } => {
-                *num_files
-            }
+            WorkloadKind::Exp1 { num_files } | WorkloadKind::Exp3 { num_files, .. } => *num_files,
             WorkloadKind::Exp2 => EXP2_READ_ONLY_FILES + EXP2_HOT_FILES,
             WorkloadKind::Custom { num_files, .. } => *num_files,
         }
@@ -53,9 +50,7 @@ impl WorkloadKind {
     /// Build the generator with its own RNG stream.
     pub fn build(&self, rng: Xoshiro256) -> Box<dyn WorkloadGen> {
         match self {
-            WorkloadKind::Exp1 { num_files } => {
-                Box::new(Experiment1::new(*num_files, rng))
-            }
+            WorkloadKind::Exp1 { num_files } => Box::new(Experiment1::new(*num_files, rng)),
             WorkloadKind::Exp2 => Box::new(Experiment2::new(rng)),
             WorkloadKind::Exp3 { num_files, sigma } => {
                 // Common random numbers: the inner Experiment-1 stream is
@@ -79,7 +74,7 @@ impl WorkloadKind {
 }
 
 /// One simulation point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Scheduler under test.
     pub scheduler: SchedulerKind,
@@ -155,6 +150,19 @@ impl SimConfig {
         self
     }
 
+    /// Canonical cache key for simulation-point memoization.
+    ///
+    /// Two configs with the same key produce byte-identical
+    /// [`crate::metrics::SimReport`]s: the simulator is a pure function
+    /// of the config, and every field (including nested cost constants
+    /// and workload parameters) participates in the key. Floats are
+    /// rendered through `Debug`, which in Rust prints the shortest
+    /// round-trippable representation, so distinct bit patterns map to
+    /// distinct keys.
+    pub fn cache_key(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Validate parameter ranges.
     ///
     /// # Panics
@@ -184,10 +192,7 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let c = SimConfig::new(
-            SchedulerKind::Nodc,
-            WorkloadKind::Exp1 { num_files: 16 },
-        );
+        let c = SimConfig::new(SchedulerKind::Nodc, WorkloadKind::Exp1 { num_files: 16 });
         assert_eq!(c.horizon.as_millis(), 2_000_000);
         assert_eq!(c.dd, 1);
         assert_eq!(c.mpl, None);
@@ -241,16 +246,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "DD 9 out of range")]
     fn validate_rejects_bad_dd() {
-        let mut c = SimConfig::new(
-            SchedulerKind::Nodc,
-            WorkloadKind::Exp1 { num_files: 16 },
-        );
+        let mut c = SimConfig::new(SchedulerKind::Nodc, WorkloadKind::Exp1 { num_files: 16 });
         c.dd = 9;
         c.validate();
     }
 
     #[test]
-    fn config_serializes() {
+    fn cache_key_distinguishes_configs() {
         let c = SimConfig::new(
             SchedulerKind::Low(2),
             WorkloadKind::Exp3 {
@@ -258,8 +260,20 @@ mod tests {
                 sigma: 1.0,
             },
         );
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(c, back);
+        assert_eq!(c.cache_key(), c.clone().cache_key());
+        // Every knob participates in the key.
+        assert_ne!(c.cache_key(), c.clone().with_lambda(1.0000001).cache_key());
+        assert_ne!(c.cache_key(), c.clone().with_dd(2).cache_key());
+        assert_ne!(c.cache_key(), c.clone().with_seed(1).cache_key());
+        assert_ne!(c.cache_key(), c.clone().with_mpl(4).cache_key());
+        let mut d = c.clone();
+        d.workload = WorkloadKind::Exp3 {
+            num_files: 16,
+            sigma: 2.0,
+        };
+        assert_ne!(c.cache_key(), d.cache_key());
+        let mut e = d.clone();
+        e.costs.num_nodes = 4;
+        assert_ne!(d.cache_key(), e.cache_key());
     }
 }

@@ -16,11 +16,17 @@
 //! | [`fig12`] | Fig. 12 | Exp. 2: RT speedup at λ=1.2 vs DD |
 //! | [`fig13`] | Fig. 13 | Exp. 3: TPS at RT=70 s vs error σ |
 //! | [`table5`] | Table 5 | Exp. 3: degradation TPS(σ=10)/TPS(σ=0) |
+//!
+//! Each artifact is a grid of *independent* simulation cells, so every
+//! function fans its cells across the [`ExecCtx`]'s worker threads and
+//! assembles rows from the order-preserved results. Determinism: each
+//! cell's RNG streams derive solely from `SimConfig::seed`, so the
+//! rendered tables are byte-identical at any job count.
 
 use crate::config::{SimConfig, WorkloadKind};
 use crate::driver;
+use crate::parallel::ExecCtx;
 use crate::report::{f1, f2, Table};
-use crate::sim::Simulator;
 use bds_des::time::Duration;
 use bds_sched::SchedulerKind;
 
@@ -36,6 +42,9 @@ pub struct ExpOptions {
     pub seed: u64,
     /// mpl grid swept for C2PL+M.
     pub mpl_grid: Vec<u32>,
+    /// Worker threads used to fan out independent simulation cells
+    /// (results are byte-identical at any value; 1 = serial).
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -45,8 +54,17 @@ impl Default for ExpOptions {
             bisect_iters: 6,
             seed: 0x5EED_BA7C,
             mpl_grid: vec![4, 8, 16, 32],
+            jobs: default_jobs(),
         }
     }
+}
+
+/// Number of worker threads to use when the caller doesn't specify:
+/// the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
 }
 
 impl ExpOptions {
@@ -57,7 +75,14 @@ impl ExpOptions {
             bisect_iters: 3,
             seed: 0x5EED_BA7C,
             mpl_grid: vec![8, 32],
+            jobs: default_jobs(),
         }
+    }
+
+    /// Builder-style worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     fn base(&self, kind: SchedulerKind, workload: WorkloadKind) -> SimConfig {
@@ -76,9 +101,15 @@ const BISECT_HI: f64 = 1.4;
 /// Target mean response time for the throughput tables (seconds).
 const RT_TARGET: f64 = 70.0;
 
+/// Throughput at the RT target for one cell (shared bisection wrapper).
+fn tput_cell(ctx: &ExecCtx, opts: &ExpOptions, cfg: &SimConfig) -> f64 {
+    driver::throughput_at_rt(ctx, cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters)
+        .throughput_tps()
+}
+
 /// Fig. 8 — Exp. 1: mean response time (s) as a function of arrival
 /// rate; DD = 1, NumFiles = 16, all six schedulers.
-pub fn fig8(opts: &ExpOptions) -> Table {
+pub fn fig8(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let lambdas = [0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4];
     let mut header = vec!["lambda(TPS)".to_string()];
     header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
@@ -87,14 +118,22 @@ pub fn fig8(opts: &ExpOptions) -> Table {
         header,
         rows: Vec::new(),
     };
-    for &l in &lambdas {
+    let cells: Vec<SimConfig> = lambdas
+        .iter()
+        .flat_map(|&l| {
+            SchedulerKind::PAPER_SET.iter().map(move |&kind| {
+                opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                    .with_lambda(l)
+            })
+        })
+        .collect();
+    let reports = ctx.map(&cells, |_, cfg| ctx.run_point(cfg));
+    for (i, &l) in lambdas.iter().enumerate() {
         let mut row = vec![f2(l)];
-        for kind in SchedulerKind::PAPER_SET {
-            let cfg = opts
-                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
-                .with_lambda(l);
-            let r = Simulator::run(&cfg);
-            row.push(f1(r.mean_rt_secs()));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            row.push(f1(
+                reports[i * SchedulerKind::PAPER_SET.len() + j].mean_rt_secs()
+            ));
         }
         t.rows.push(row);
     }
@@ -103,7 +142,8 @@ pub fn fig8(opts: &ExpOptions) -> Table {
 
 /// Table 2 — Exp. 1: throughput (TPS) at RT = 70 s, DD = 1,
 /// NumFiles ∈ {8, 16, 32, 64}.
-pub fn table2(opts: &ExpOptions) -> Table {
+pub fn table2(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let files = [8u32, 16, 32, 64];
     let mut header = vec!["#files".to_string()];
     header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
     let mut t = Table {
@@ -111,12 +151,19 @@ pub fn table2(opts: &ExpOptions) -> Table {
         header,
         rows: Vec::new(),
     };
-    for nf in [8u32, 16, 32, 64] {
+    let cells: Vec<SimConfig> = files
+        .iter()
+        .flat_map(|&nf| {
+            SchedulerKind::PAPER_SET
+                .iter()
+                .map(move |&kind| opts.base(kind, WorkloadKind::Exp1 { num_files: nf }))
+        })
+        .collect();
+    let tputs = ctx.map(&cells, |_, cfg| tput_cell(ctx, opts, cfg));
+    for (i, nf) in files.iter().enumerate() {
         let mut row = vec![nf.to_string()];
-        for kind in SchedulerKind::PAPER_SET {
-            let cfg = opts.base(kind, WorkloadKind::Exp1 { num_files: nf });
-            let r = driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters);
-            row.push(f2(r.throughput_tps()));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            row.push(f2(tputs[i * SchedulerKind::PAPER_SET.len() + j]));
         }
         t.rows.push(row);
     }
@@ -125,7 +172,8 @@ pub fn table2(opts: &ExpOptions) -> Table {
 
 /// Fig. 9 — Exp. 1: throughput (TPS) at RT = 70 s as DD grows,
 /// NumFiles = 16.
-pub fn fig9(opts: &ExpOptions) -> Table {
+pub fn fig9(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let dds = [1u32, 2, 4, 8];
     let mut header = vec!["DD".to_string()];
     header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
     let mut t = Table {
@@ -133,14 +181,20 @@ pub fn fig9(opts: &ExpOptions) -> Table {
         header,
         rows: Vec::new(),
     };
-    for dd in [1u32, 2, 4, 8] {
+    let cells: Vec<SimConfig> = dds
+        .iter()
+        .flat_map(|&dd| {
+            SchedulerKind::PAPER_SET.iter().map(move |&kind| {
+                opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                    .with_dd(dd)
+            })
+        })
+        .collect();
+    let tputs = ctx.map(&cells, |_, cfg| tput_cell(ctx, opts, cfg));
+    for (i, dd) in dds.iter().enumerate() {
         let mut row = vec![dd.to_string()];
-        for kind in SchedulerKind::PAPER_SET {
-            let cfg = opts
-                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
-                .with_dd(dd);
-            let r = driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters);
-            row.push(f2(r.throughput_tps()));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            row.push(f2(tputs[i * SchedulerKind::PAPER_SET.len() + j]));
         }
         t.rows.push(row);
     }
@@ -150,7 +204,11 @@ pub fn fig9(opts: &ExpOptions) -> Table {
 /// Shared computation for Table 3 / Fig. 10: mean RT at λ = 1.2 TPS for
 /// DD ∈ {1, 2, 4, 8}, including C2PL+M (best mpl). Returns
 /// `(labels, rt[dd_index][scheduler_index])`.
-fn exp1_rt_at_heavy_load(opts: &ExpOptions) -> (Vec<String>, Vec<Vec<f64>>) {
+///
+/// The whole point grid — six schedulers plus every C2PL+M mpl
+/// candidate, at each DD — is prewarmed in one parallel fan-out; the
+/// `best_mpl` searches then assemble from cache hits.
+fn exp1_rt_at_heavy_load(opts: &ExpOptions, ctx: &ExecCtx) -> (Vec<String>, Vec<Vec<f64>>) {
     let schedulers = [
         SchedulerKind::Nodc,
         SchedulerKind::Asl,
@@ -159,25 +217,38 @@ fn exp1_rt_at_heavy_load(opts: &ExpOptions) -> (Vec<String>, Vec<Vec<f64>>) {
         SchedulerKind::C2pl,
         SchedulerKind::Opt,
     ];
+    let dds = [1u32, 2, 4, 8];
     let mut labels: Vec<String> = schedulers.iter().map(|k| k.label()).collect();
     labels.push("C2PL+M".into());
-    let mut grid = Vec::new();
-    for dd in [1u32, 2, 4, 8] {
-        let mut row = Vec::new();
-        for kind in schedulers {
-            let cfg = opts
-                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
-                .with_lambda(1.2)
-                .with_dd(dd);
-            row.push(Simulator::run(&cfg).mean_rt_secs());
-        }
-        // C2PL+M: best mpl at this DD.
-        let base = opts
-            .base(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files: 16 })
+    let heavy = |kind: SchedulerKind, dd: u32| {
+        opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
             .with_lambda(1.2)
-            .with_dd(dd);
-        let (_, r) = driver::best_mpl(&base, &opts.mpl_grid);
-        row.push(r.mean_rt_secs());
+            .with_dd(dd)
+    };
+    let mut cells: Vec<SimConfig> = Vec::new();
+    for &dd in &dds {
+        for &kind in &schedulers {
+            cells.push(heavy(kind, dd));
+        }
+        for &m in &opts.mpl_grid {
+            cells.push(heavy(SchedulerKind::C2pl, dd).with_mpl(m));
+        }
+    }
+    ctx.map(&cells, |_, cfg| ctx.run_point(cfg));
+    let mut grid = Vec::new();
+    for &dd in &dds {
+        let mut row: Vec<f64> = schedulers
+            .iter()
+            .map(|&kind| ctx.run_point(&heavy(kind, dd)).mean_rt_secs())
+            .collect();
+        // C2PL+M: best mpl at this DD (cache hits). A fully saturated
+        // grid has no meaningful RT — report ∞, not the empty report's 0.
+        let choice = driver::best_mpl(ctx, &heavy(SchedulerKind::C2pl, dd), &opts.mpl_grid);
+        row.push(if choice.all_saturated {
+            f64::INFINITY
+        } else {
+            choice.report.mean_rt_secs()
+        });
         grid.push(row);
     }
     (labels, grid)
@@ -186,8 +257,8 @@ fn exp1_rt_at_heavy_load(opts: &ExpOptions) -> (Vec<String>, Vec<Vec<f64>>) {
 /// Table 3 — Exp. 1: response time (s) at λ = 1.2 TPS vs DD,
 /// NumFiles = 16 (C2PL reported through its best-mpl variant C2PL+M,
 /// as in the paper).
-pub fn table3(opts: &ExpOptions) -> Table {
-    let (labels, grid) = exp1_rt_at_heavy_load(opts);
+pub fn table3(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let (labels, grid) = exp1_rt_at_heavy_load(opts, ctx);
     let mut header = vec!["DD".to_string()];
     header.extend(labels);
     let mut t = Table {
@@ -205,13 +276,12 @@ pub fn table3(opts: &ExpOptions) -> Table {
 
 /// Fig. 10 — Exp. 1: response-time speedup at λ = 1.2 TPS,
 /// `RT(DD=1)/RT(DD=k)`, NumFiles = 16.
-pub fn fig10(opts: &ExpOptions) -> Table {
-    let (labels, grid) = exp1_rt_at_heavy_load(opts);
+pub fn fig10(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let (labels, grid) = exp1_rt_at_heavy_load(opts, ctx);
     let mut header = vec!["DD".to_string()];
     header.extend(labels);
     let mut t = Table {
-        title: "Fig.10: Exp.1 Declustering vs Resp.Time Speedup, NumFiles=16, λ=1.2 TPS"
-            .into(),
+        title: "Fig.10: Exp.1 Declustering vs Resp.Time Speedup, NumFiles=16, λ=1.2 TPS".into(),
         header,
         rows: Vec::new(),
     };
@@ -228,7 +298,7 @@ pub fn fig10(opts: &ExpOptions) -> Table {
 
 /// Fig. 11 — Exp. 1: response-time speedup (`RT at DD=1 / RT at DD=4`)
 /// as a function of arrival rate; NumFiles = 16.
-pub fn fig11(opts: &ExpOptions) -> Table {
+pub fn fig11(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let lambdas = [0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
     let mut header = vec!["lambda(TPS)".to_string()];
     header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
@@ -237,13 +307,20 @@ pub fn fig11(opts: &ExpOptions) -> Table {
         header,
         rows: Vec::new(),
     };
-    for &l in &lambdas {
+    let cells: Vec<SimConfig> = lambdas
+        .iter()
+        .flat_map(|&l| {
+            SchedulerKind::PAPER_SET.iter().map(move |&kind| {
+                opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                    .with_lambda(l)
+            })
+        })
+        .collect();
+    let speedups = ctx.map(&cells, |_, cfg| driver::rt_speedup(ctx, cfg, 4));
+    for (i, &l) in lambdas.iter().enumerate() {
         let mut row = vec![f2(l)];
-        for kind in SchedulerKind::PAPER_SET {
-            let cfg = opts
-                .base(kind, WorkloadKind::Exp1 { num_files: 16 })
-                .with_lambda(l);
-            row.push(f2(driver::rt_speedup(&cfg, 4)));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            row.push(f2(speedups[i * SchedulerKind::PAPER_SET.len() + j]));
         }
         t.rows.push(row);
     }
@@ -252,7 +329,8 @@ pub fn fig11(opts: &ExpOptions) -> Table {
 
 /// Table 4 — Exp. 2 (hot-set update): throughput (TPS) at RT = 70 s and
 /// response time (s) at λ = 1.2 TPS, for DD ∈ {1, 2, 4}.
-pub fn table4(opts: &ExpOptions) -> Table {
+pub fn table4(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let dds = [1u32, 2, 4];
     let mut header = vec!["metric".to_string(), "DD".to_string()];
     header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
     let mut t = Table {
@@ -260,23 +338,31 @@ pub fn table4(opts: &ExpOptions) -> Table {
         header,
         rows: Vec::new(),
     };
-    for dd in [1u32, 2, 4] {
+    let tput_cells: Vec<SimConfig> = dds
+        .iter()
+        .flat_map(|&dd| {
+            SchedulerKind::PAPER_SET
+                .iter()
+                .map(move |&kind| opts.base(kind, WorkloadKind::Exp2).with_dd(dd))
+        })
+        .collect();
+    let rt_cells: Vec<SimConfig> = tput_cells
+        .iter()
+        .map(|cfg| cfg.clone().with_lambda(1.2))
+        .collect();
+    let tputs = ctx.map(&tput_cells, |_, cfg| tput_cell(ctx, opts, cfg));
+    let rts = ctx.map(&rt_cells, |_, cfg| ctx.run_point(cfg).mean_rt_secs());
+    for (i, dd) in dds.iter().enumerate() {
         let mut row = vec!["Thruput".to_string(), dd.to_string()];
-        for kind in SchedulerKind::PAPER_SET {
-            let cfg = opts.base(kind, WorkloadKind::Exp2).with_dd(dd);
-            let r = driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters);
-            row.push(f2(r.throughput_tps()));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            row.push(f2(tputs[i * SchedulerKind::PAPER_SET.len() + j]));
         }
         t.rows.push(row);
     }
-    for dd in [1u32, 2, 4] {
+    for (i, dd) in dds.iter().enumerate() {
         let mut row = vec!["RespTime".to_string(), dd.to_string()];
-        for kind in SchedulerKind::PAPER_SET {
-            let cfg = opts
-                .base(kind, WorkloadKind::Exp2)
-                .with_lambda(1.2)
-                .with_dd(dd);
-            row.push(f1(Simulator::run(&cfg).mean_rt_secs()));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            row.push(f1(rts[i * SchedulerKind::PAPER_SET.len() + j]));
         }
         t.rows.push(row);
     }
@@ -284,7 +370,8 @@ pub fn table4(opts: &ExpOptions) -> Table {
 }
 
 /// Fig. 12 — Exp. 2: response-time speedup at λ = 1.2 TPS vs DD.
-pub fn fig12(opts: &ExpOptions) -> Table {
+pub fn fig12(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let dds = [1u32, 2, 4, 8];
     let mut header = vec!["DD".to_string()];
     header.extend(SchedulerKind::PAPER_SET.iter().map(|k| k.label()));
     let mut t = Table {
@@ -292,23 +379,25 @@ pub fn fig12(opts: &ExpOptions) -> Table {
         header,
         rows: Vec::new(),
     };
-    // RT at DD=1 per scheduler (speedup baseline).
-    let base_rt: Vec<f64> = SchedulerKind::PAPER_SET
+    let cells: Vec<SimConfig> = dds
         .iter()
-        .map(|&kind| {
-            let cfg = opts.base(kind, WorkloadKind::Exp2).with_lambda(1.2);
-            Simulator::run(&cfg).mean_rt_secs()
+        .flat_map(|&dd| {
+            SchedulerKind::PAPER_SET.iter().map(move |&kind| {
+                opts.base(kind, WorkloadKind::Exp2)
+                    .with_lambda(1.2)
+                    .with_dd(dd)
+            })
         })
         .collect();
-    for dd in [1u32, 2, 4, 8] {
+    let rts = ctx.map(&cells, |_, cfg| ctx.run_point(cfg).mean_rt_secs());
+    // RT at DD=1 per scheduler (speedup baseline) is the first row of
+    // the same grid.
+    for (i, dd) in dds.iter().enumerate() {
         let mut row = vec![dd.to_string()];
-        for (j, &kind) in SchedulerKind::PAPER_SET.iter().enumerate() {
-            let cfg = opts
-                .base(kind, WorkloadKind::Exp2)
-                .with_lambda(1.2)
-                .with_dd(dd);
-            let rt = Simulator::run(&cfg).mean_rt_secs();
-            row.push(f2(if rt > 0.0 { base_rt[j] / rt } else { f64::NAN }));
+        for j in 0..SchedulerKind::PAPER_SET.len() {
+            let rt = rts[i * SchedulerKind::PAPER_SET.len() + j];
+            let base = rts[j];
+            row.push(f2(if rt > 0.0 { base / rt } else { f64::NAN }));
         }
         t.rows.push(row);
     }
@@ -318,11 +407,11 @@ pub fn fig12(opts: &ExpOptions) -> Table {
 /// Fig. 13 — Exp. 3 (declaration-error sensitivity): throughput (TPS)
 /// at RT = 70 s as a function of the error σ, for GOW and LOW at
 /// DD ∈ {1, 2, 4} (C2PL shown as the lower-bound reference).
-pub fn fig13(opts: &ExpOptions) -> Table {
+pub fn fig13(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     let sigmas = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0];
+    let dds = [1u32, 2, 4];
     let mut t = Table {
-        title: "Fig.13: Exp.3 Error Ratio σ vs Throughput (TPS at RT=70s), NumFiles=16"
-            .into(),
+        title: "Fig.13: Exp.3 Error Ratio σ vs Throughput (TPS at RT=70s), NumFiles=16".into(),
         header: vec![
             "sigma".into(),
             "GOW DD=1".into(),
@@ -336,7 +425,7 @@ pub fn fig13(opts: &ExpOptions) -> Table {
         ],
         rows: Vec::new(),
     };
-    let tput = |kind: SchedulerKind, dd: u32, sigma: f64| -> f64 {
+    let noisy = |kind: SchedulerKind, dd: u32, sigma: f64| -> SimConfig {
         let workload = if sigma == 0.0 {
             WorkloadKind::Exp1 { num_files: 16 }
         } else {
@@ -345,21 +434,26 @@ pub fn fig13(opts: &ExpOptions) -> Table {
                 sigma,
             }
         };
-        let cfg = opts.base(kind, workload).with_dd(dd);
-        driver::throughput_at_rt(&cfg, RT_TARGET, BISECT_LO, BISECT_HI, opts.bisect_iters)
-            .throughput_tps()
+        opts.base(kind, workload).with_dd(dd)
     };
+    // One bisection cell per table cell; the σ-independent C2PL
+    // references appear once per row but collapse in the point cache.
+    let mut cells: Vec<SimConfig> = Vec::new();
     for &sigma in &sigmas {
+        for &dd in &dds {
+            cells.push(noisy(SchedulerKind::Gow, dd, sigma));
+        }
+        for &dd in &dds {
+            cells.push(noisy(SchedulerKind::Low(2), dd, sigma));
+        }
+        cells.push(noisy(SchedulerKind::C2pl, 1, 0.0));
+        cells.push(noisy(SchedulerKind::C2pl, 4, 0.0));
+    }
+    let tputs = ctx.map(&cells, |_, cfg| tput_cell(ctx, opts, cfg));
+    let per_row = 2 * dds.len() + 2;
+    for (i, &sigma) in sigmas.iter().enumerate() {
         let mut row = vec![f2(sigma)];
-        for dd in [1u32, 2, 4] {
-            row.push(f2(tput(SchedulerKind::Gow, dd, sigma)));
-        }
-        for dd in [1u32, 2, 4] {
-            row.push(f2(tput(SchedulerKind::Low(2), dd, sigma)));
-        }
-        // C2PL ignores declarations entirely: σ-independent reference.
-        row.push(f2(tput(SchedulerKind::C2pl, 1, 0.0)));
-        row.push(f2(tput(SchedulerKind::C2pl, 4, 0.0)));
+        row.extend(tputs[i * per_row..(i + 1) * per_row].iter().map(|&x| f2(x)));
         t.rows.push(row);
     }
     t
@@ -367,41 +461,45 @@ pub fn fig13(opts: &ExpOptions) -> Table {
 
 /// Table 5 — Exp. 3: degradation ratio `TPS(σ=10) / TPS(σ=0)` for GOW
 /// and LOW at DD ∈ {1, 2, 4}.
-pub fn table5(opts: &ExpOptions) -> Table {
+pub fn table5(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let kinds = [SchedulerKind::Gow, SchedulerKind::Low(2)];
+    let dds = [1u32, 2, 4];
     let mut t = Table {
         title: "Table 5: Exp.3 Sensitivity — Degradation Ratio TPS(σ=10)/TPS(σ=0)".into(),
-        header: vec!["scheduler".into(), "DD=1".into(), "DD=2".into(), "DD=4".into()],
+        header: vec![
+            "scheduler".into(),
+            "DD=1".into(),
+            "DD=2".into(),
+            "DD=4".into(),
+        ],
         rows: Vec::new(),
     };
-    for kind in [SchedulerKind::Gow, SchedulerKind::Low(2)] {
+    // Cells: (kind × dd) × {clean σ=0, noisy σ=10}, flattened.
+    let mut cells: Vec<SimConfig> = Vec::new();
+    for &kind in &kinds {
+        for &dd in &dds {
+            cells.push(
+                opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                    .with_dd(dd),
+            );
+            cells.push(
+                opts.base(
+                    kind,
+                    WorkloadKind::Exp3 {
+                        num_files: 16,
+                        sigma: 10.0,
+                    },
+                )
+                .with_dd(dd),
+            );
+        }
+    }
+    let tputs = ctx.map(&cells, |_, cfg| tput_cell(ctx, opts, cfg));
+    for (ki, kind) in kinds.iter().enumerate() {
         let mut row = vec![kind.label()];
-        for dd in [1u32, 2, 4] {
-            let clean = driver::throughput_at_rt(
-                &opts
-                    .base(kind, WorkloadKind::Exp1 { num_files: 16 })
-                    .with_dd(dd),
-                RT_TARGET,
-                BISECT_LO,
-                BISECT_HI,
-                opts.bisect_iters,
-            )
-            .throughput_tps();
-            let noisy = driver::throughput_at_rt(
-                &opts
-                    .base(
-                        kind,
-                        WorkloadKind::Exp3 {
-                            num_files: 16,
-                            sigma: 10.0,
-                        },
-                    )
-                    .with_dd(dd),
-                RT_TARGET,
-                BISECT_LO,
-                BISECT_HI,
-                opts.bisect_iters,
-            )
-            .throughput_tps();
+        for di in 0..dds.len() {
+            let base = (ki * dds.len() + di) * 2;
+            let (clean, noisy) = (tputs[base], tputs[base + 1]);
             let ratio = if clean > 0.0 { noisy / clean } else { f64::NAN };
             row.push(format!("{:.0}%", ratio * 100.0));
         }
@@ -421,26 +519,28 @@ pub struct Artifact {
 
 /// All artifact ids, in paper order.
 pub const ARTIFACT_IDS: [&str; 10] = [
-    "fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13",
-    "table5",
+    "fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13", "table5",
 ];
 
-/// Regenerate one artifact by id.
+/// Regenerate one artifact by id with a caller-provided execution
+/// context. Passing the same context across artifacts lets later ones
+/// reuse every simulation point earlier ones already ran (Table 3 and
+/// Fig. 10 share their entire grid, for example).
 ///
 /// # Panics
 /// Panics on an unknown id.
-pub fn run_artifact(id: &str, opts: &ExpOptions) -> Artifact {
+pub fn run_artifact_with(id: &str, opts: &ExpOptions, ctx: &ExecCtx) -> Artifact {
     let table = match id {
-        "fig8" => fig8(opts),
-        "table2" => table2(opts),
-        "fig9" => fig9(opts),
-        "table3" => table3(opts),
-        "fig10" => fig10(opts),
-        "fig11" => fig11(opts),
-        "table4" => table4(opts),
-        "fig12" => fig12(opts),
-        "fig13" => fig13(opts),
-        "table5" => table5(opts),
+        "fig8" => fig8(opts, ctx),
+        "table2" => table2(opts, ctx),
+        "fig9" => fig9(opts, ctx),
+        "table3" => table3(opts, ctx),
+        "fig10" => fig10(opts, ctx),
+        "fig11" => fig11(opts, ctx),
+        "table4" => table4(opts, ctx),
+        "fig12" => fig12(opts, ctx),
+        "fig13" => fig13(opts, ctx),
+        "table5" => table5(opts, ctx),
         other => panic!("unknown artifact id '{other}' (valid: {ARTIFACT_IDS:?})"),
     };
     Artifact {
@@ -452,11 +552,22 @@ pub fn run_artifact(id: &str, opts: &ExpOptions) -> Artifact {
     }
 }
 
-/// Regenerate every artifact.
+/// Regenerate one artifact by id on a fresh context with `opts.jobs`
+/// workers.
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run_artifact(id: &str, opts: &ExpOptions) -> Artifact {
+    run_artifact_with(id, opts, &ExecCtx::new(opts.jobs))
+}
+
+/// Regenerate every artifact, sharing one point cache across all of
+/// them.
 pub fn run_all(opts: &ExpOptions) -> Vec<Artifact> {
+    let ctx = ExecCtx::new(opts.jobs);
     ARTIFACT_IDS
         .iter()
-        .map(|id| run_artifact(id, opts))
+        .map(|id| run_artifact_with(id, opts, &ctx))
         .collect()
 }
 
@@ -469,7 +580,7 @@ mod tests {
     fn fig8_smoke() {
         let mut opts = ExpOptions::quick();
         opts.horizon = Duration::from_secs(120);
-        let t = fig8(&opts);
+        let t = fig8(&opts, &ExecCtx::new(opts.jobs));
         assert_eq!(t.rows.len(), 8);
         assert_eq!(t.header.len(), 7);
     }

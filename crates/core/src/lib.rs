@@ -46,11 +46,13 @@ pub mod config;
 pub mod driver;
 pub mod experiments;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod sim;
 
 pub use config::{SimConfig, WorkloadKind};
 pub use metrics::SimReport;
+pub use parallel::{ExecCtx, PointCache};
 pub use sim::Simulator;
 
 // Re-export the substrate crates so downstream users need only one

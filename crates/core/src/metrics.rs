@@ -1,10 +1,9 @@
 //! Simulation outputs.
 
 use bds_des::stats::Welford;
-use serde::{Deserialize, Serialize};
 
 /// The report of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Scheduler label ("GOW", "LOW", …).
     pub scheduler: String,
@@ -72,6 +71,110 @@ impl SimReport {
             self.throughput_tps() / b
         }
     }
+
+    /// Render as a JSON object (hand-rolled; the workspace carries no
+    /// external serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("scheduler", &self.scheduler);
+        o.num("lambda_tps", self.lambda_tps);
+        o.int("dd", self.dd as u64);
+        o.num("horizon_secs", self.horizon_secs);
+        o.int("arrived", self.arrived);
+        o.int("started", self.started);
+        o.int("completed", self.completed);
+        o.int("restarts", self.restarts);
+        o.num("mean_rt_secs", self.mean_rt_secs());
+        o.num("throughput_tps", self.throughput_tps());
+        o.num("cn_utilization", self.cn_utilization);
+        o.num("dpn_utilization", self.dpn_utilization);
+        o.num("mean_live", self.mean_live);
+        o.opt_num("rt_p50_secs", self.rt_p50_secs);
+        o.opt_num("rt_p90_secs", self.rt_p90_secs);
+        o.opt_num("rt_p99_secs", self.rt_p99_secs);
+        o.int("queued_at_end", self.queued_at_end);
+        o.int("events", self.events);
+        o.int("lock_requests", self.lock_requests);
+        o.int("requests_denied", self.requests_denied);
+        o.finish()
+    }
+}
+
+/// Minimal JSON object writer: enough for flat reports (string, number,
+/// and null values; keys are known identifiers, values are escaped).
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    /// Append a string field (escapes quotes and backslashes).
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                c if (c as u32) < 0x20 => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Append a float field (`null` when non-finite — JSON has no inf).
+    pub fn num(&mut self, k: &str, v: f64) {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Append an integer field.
+    pub fn int(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Append an optional float field (`null` when absent).
+    pub fn opt_num(&mut self, k: &str, v: Option<f64>) {
+        match v {
+            Some(x) => self.num(k, x),
+            None => {
+                self.key(k);
+                self.buf.push_str("null");
+            }
+        }
+    }
+
+    /// Append a raw pre-rendered JSON value (nested object/array).
+    pub fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
 }
 
 #[cfg(test)]
@@ -117,10 +220,33 @@ mod tests {
     }
 
     #[test]
-    fn serializes_roundtrip() {
+    fn json_has_all_fields() {
         let r = report(10, 100.0);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: SimReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(r, back);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "scheduler",
+            "lambda_tps",
+            "completed",
+            "throughput_tps",
+            "rt_p50_secs",
+            "requests_denied",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "missing {key}: {json}"
+            );
+        }
+        assert!(json.contains("\"scheduler\":\"TEST\""));
+        assert!(json.contains("\"completed\":10"));
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        let mut o = JsonObj::new();
+        o.str("s", "a\"b\\c");
+        o.num("inf", f64::INFINITY);
+        o.opt_num("none", None);
+        assert_eq!(o.finish(), r#"{"s":"a\"b\\c","inf":null,"none":null}"#);
     }
 }

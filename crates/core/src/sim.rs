@@ -301,7 +301,8 @@ impl Simulator {
         // Next arrival.
         let t = self.arrivals.pop();
         debug_assert_eq!(t, now);
-        self.events.schedule_at(self.arrivals.peek(), Event::Arrival);
+        self.events
+            .schedule_at(self.arrivals.peek(), Event::Arrival);
         self.try_admissions();
     }
 
@@ -395,9 +396,7 @@ impl Simulator {
                 if let Some(seq) = pending_seq {
                     self.pending.remove(&seq);
                 }
-                let done = self
-                    .cn
-                    .enqueue(now, outcome.cpu + self.cfg.costs.msg_time);
+                let done = self.cn.enqueue(now, outcome.cpu + self.cfg.costs.msg_time);
                 self.events.schedule_at(
                     done,
                     Event::CnDone {
@@ -477,8 +476,10 @@ impl Simulator {
             return;
         }
         let quantum = self.cfg.costs.quantum(self.cfg.dd);
-        self.txns.get_mut(&id).expect("dispatch unknown txn").outstanding_cohorts =
-            nodes.len() as u32;
+        self.txns
+            .get_mut(&id)
+            .expect("dispatch unknown txn")
+            .outstanding_cohorts = nodes.len() as u32;
         let start_at = now + self.cfg.costs.net_delay;
         for node in nodes {
             let cid = CohortId(self.next_cohort);

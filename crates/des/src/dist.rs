@@ -166,11 +166,7 @@ impl Discrete {
     /// Draw an index.
     pub fn sample_index(&self, rng: &mut Xoshiro256) -> usize {
         let u = rng.next_f64();
-        match self
-            .cumulative
-            .iter()
-            .position(|&c| u < c)
-        {
+        match self.cumulative.iter().position(|&c| u < c) {
             Some(i) => i,
             // u can only reach the final bucket boundary through rounding.
             None => self.cumulative.len() - 1,

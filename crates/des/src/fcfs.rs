@@ -42,7 +42,11 @@ impl FcfsServer {
     /// callers must enqueue in non-decreasing event order, which the event
     /// queue guarantees.
     pub fn enqueue(&mut self, now: SimTime, demand: Duration) -> SimTime {
-        let begin = if self.free_at > now { self.free_at } else { now };
+        let begin = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
         // Track busy/idle transitions for utilization: the server is busy
         // on [begin, begin+demand]. We only track aggregate busy time.
         let end = begin + demand;

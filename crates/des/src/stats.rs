@@ -10,10 +10,9 @@
 //!   interval on a steady-state mean.
 
 use crate::time::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Welford's streaming mean and variance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -111,7 +110,7 @@ impl Welford {
 
 /// Time-weighted average of a piecewise-constant signal, e.g. number of
 /// busy servers or queue length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWeighted {
     last_change: SimTime,
     value: f64,
@@ -164,7 +163,7 @@ impl TimeWeighted {
 }
 
 /// Fixed-width histogram over `[0, width · bins)` with an overflow bucket.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     width: f64,
     counts: Vec<u64>,
@@ -240,7 +239,7 @@ impl Histogram {
 /// Batch-means estimator: splits a sample stream into `num_batches`
 /// equally sized batches and reports a Student-t confidence interval for
 /// the steady-state mean.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchMeans {
     batch_size: u64,
     current_sum: f64,
@@ -268,7 +267,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_count += 1;
         if self.current_count == self.batch_size {
-            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.batch_means
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -367,7 +367,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_millis(10), 1.0); // 0 for 10ms
         tw.set(SimTime::from_millis(30), 0.0); // 1 for 20ms
-        // average over 40ms: (0*10 + 1*20 + 0*10)/40 = 0.5
+                                               // average over 40ms: (0*10 + 1*20 + 0*10)/40 = 0.5
         assert!((tw.average(SimTime::from_millis(40)) - 0.5).abs() < 1e-12);
         assert_eq!(tw.current(), 0.0);
     }

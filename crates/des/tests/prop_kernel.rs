@@ -1,5 +1,7 @@
-//! Property tests for the DES kernel: event ordering, FCFS server
-//! conservation, and statistics correctness against naive references.
+//! Randomized property tests for the DES kernel: event ordering, FCFS
+//! server conservation, and statistics correctness against naive
+//! references. Inputs are generated from a fixed-seed [`Xoshiro256`]
+//! stream, so the suite is deterministic and dependency-free.
 
 use bds_des::dist::{Exponential, Normal, Sample};
 use bds_des::fcfs::FcfsServer;
@@ -7,13 +9,19 @@ use bds_des::rng::Xoshiro256;
 use bds_des::stats::Welford;
 use bds_des::time::{Duration, SimTime};
 use bds_des::EventQueue;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: u64 = 256;
 
-    #[test]
-    fn events_pop_sorted_and_stable(times in prop::collection::vec(0u64..10_000, 0..300)) {
+fn rng(case: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(0xDE5_7E57 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[test]
+fn events_pop_sorted_and_stable() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let n = r.next_index(300);
+        let times: Vec<u64> = (0..n).map(|_| r.next_range(10_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(SimTime::from_millis(t), (t, i));
@@ -22,17 +30,23 @@ proptest! {
         while let Some(s) = q.pop() {
             popped.push(s.event);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         // Sorted by time; ties in insertion order.
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
         }
     }
+}
 
-    #[test]
-    fn fcfs_is_conserving_and_ordered(jobs in prop::collection::vec((0u64..5000, 0u64..300), 1..100)) {
+#[test]
+fn fcfs_is_conserving_and_ordered() {
+    for case in 0..CASES {
+        let mut r = rng(case ^ 0xFCF5);
+        let n = 1 + r.next_index(99);
         // Jobs arrive at non-decreasing times with random demands.
-        let mut arrivals: Vec<(u64, u64)> = jobs;
+        let mut arrivals: Vec<(u64, u64)> = (0..n)
+            .map(|_| (r.next_range(5000), r.next_range(300)))
+            .collect();
         arrivals.sort_by_key(|&(t, _)| t);
         let mut server = FcfsServer::new(SimTime::ZERO);
         let mut prev_done = SimTime::ZERO;
@@ -41,80 +55,105 @@ proptest! {
             let done = server.enqueue(SimTime::from_millis(t), Duration::from_millis(d));
             total += d;
             // FCFS: completions are ordered.
-            prop_assert!(done >= prev_done);
+            assert!(done >= prev_done);
             // Completion at least arrival + own demand.
-            prop_assert!(done >= SimTime::from_millis(t + d));
+            assert!(done >= SimTime::from_millis(t + d));
             prev_done = done;
         }
         // Conservation: last completion ≤ last arrival + total demand.
         let last_arrival = arrivals.last().unwrap().0;
-        prop_assert!(prev_done <= SimTime::from_millis(last_arrival + total));
-        prop_assert_eq!(server.total_demand(), Duration::from_millis(total));
+        assert!(prev_done <= SimTime::from_millis(last_arrival + total));
+        assert_eq!(server.total_demand(), Duration::from_millis(total));
     }
+}
 
-    #[test]
-    fn welford_matches_naive(data in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+#[test]
+fn welford_matches_naive() {
+    for case in 0..CASES {
+        let mut r = rng(case ^ 0x3E1F);
+        let n = 1 + r.next_index(199);
+        let data: Vec<f64> = (0..n).map(|_| (r.next_f64() - 0.5) * 2e3).collect();
         let mut w = Welford::new();
         for &x in &data {
             w.push(x);
         }
-        let n = data.len() as f64;
-        let mean = data.iter().sum::<f64>() / n;
-        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        let nf = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / nf;
+        assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
         if data.len() > 1 {
-            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-            prop_assert!((w.variance() - var).abs() < 1e-6 * (1.0 + var));
+            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nf - 1.0);
+            assert!((w.variance() - var).abs() < 1e-6 * (1.0 + var));
         }
         let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(w.min(), Some(min));
-        prop_assert_eq!(w.max(), Some(max));
+        assert_eq!(w.min(), Some(min));
+        assert_eq!(w.max(), Some(max));
     }
+}
 
-    #[test]
-    fn welford_merge_any_split(data in prop::collection::vec(-50f64..50.0, 2..100), split in 0usize..100) {
-        let k = split % data.len();
+#[test]
+fn welford_merge_any_split() {
+    for case in 0..CASES {
+        let mut r = rng(case ^ 0x6E26);
+        let n = 2 + r.next_index(98);
+        let data: Vec<f64> = (0..n).map(|_| (r.next_f64() - 0.5) * 100.0).collect();
+        let k = r.next_index(data.len());
         let mut whole = Welford::new();
         for &x in &data {
             whole.push(x);
         }
         let mut a = Welford::new();
         let mut b = Welford::new();
-        for &x in &data[..k] { a.push(x); }
-        for &x in &data[k..] { b.push(x); }
+        for &x in &data[..k] {
+            a.push(x);
+        }
+        for &x in &data[k..] {
+            b.push(x);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn exponential_is_memoryless_enough(seed in any::<u64>()) {
+#[test]
+fn exponential_is_memoryless_enough() {
+    for case in 0..24 {
         // Smoke: mean of 5k samples within 10% of 1/rate.
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut rng = rng(case ^ 0xE4B0);
         let mut d = Exponential::new(2.0);
         let n = 5000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        prop_assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
     }
+}
 
-    #[test]
-    fn normal_sigma_scales(seed in any::<u64>(), sigma in 0.1f64..5.0) {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+#[test]
+fn normal_sigma_scales() {
+    for case in 0..24 {
+        let mut rng = rng(case ^ 0x4012);
+        let sigma = 0.1 + rng.next_f64() * 4.9;
         let mut d = Normal::new(0.0, sigma);
         let n = 5000;
         let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
-        prop_assert!((var.sqrt() - sigma).abs() < sigma * 0.12,
-            "sd {} vs sigma {sigma}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() < sigma * 0.12,
+            "sd {} vs sigma {sigma}",
+            var.sqrt()
+        );
     }
+}
 
-    #[test]
-    fn rng_range_never_exceeds(seed in any::<u64>(), n in 1u64..1000) {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+#[test]
+fn rng_range_never_exceeds() {
+    for case in 0..CASES {
+        let mut rng = rng(case ^ 0x7A26E);
+        let n = 1 + rng.next_range(999);
         for _ in 0..1000 {
-            prop_assert!(rng.next_range(n) < n);
+            assert!(rng.next_range(n) < n);
         }
     }
 }

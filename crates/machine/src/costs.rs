@@ -6,10 +6,9 @@
 //! needs to scan one object (≈ 2.5 MB, one cylinder) at `DD = 1`.
 
 use bds_des::time::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Every constant of Table 1, in milliseconds where applicable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostBook {
     /// `NumNodes`: number of data-processing nodes (paper: 8).
     pub num_nodes: u32,

@@ -126,7 +126,10 @@ impl Dpn {
     /// Handle the end of the current slice at `now` (must equal the time
     /// returned when the slice was started).
     pub fn on_slice_end(&mut self, now: SimTime) -> SliceOutcome {
-        let run = self.running.take().expect("slice end with no running cohort");
+        let run = self
+            .running
+            .take()
+            .expect("slice end with no running cohort");
         assert_eq!(run.slice_end, now, "slice end fired at the wrong time");
         self.busy_time += run.slice_len;
         let mut cohort = run.cohort;

@@ -6,13 +6,10 @@
 //! `home, home+1, …, home+DD−1 (mod NumNodes)`.
 
 use bds_workload::FileId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a data-processing node.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl fmt::Debug for NodeId {
@@ -22,7 +19,7 @@ impl fmt::Debug for NodeId {
 }
 
 /// The machine's data placement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     num_nodes: u32,
     dd: u32,

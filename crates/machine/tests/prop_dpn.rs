@@ -1,9 +1,12 @@
-//! Property tests for the DPN round-robin server: work conservation,
-//! completion-time bounds and busy-time accounting.
+//! Randomized tests for the DPN round-robin server: work conservation,
+//! completion-time bounds and busy-time accounting. Inputs come from a
+//! fixed-seed [`Xoshiro256`] stream, so the suite is deterministic.
 
+use bds_des::rng::Xoshiro256;
 use bds_des::time::{Duration, SimTime};
 use bds_machine::{Cohort, CohortId, Dpn};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
 
 /// Drive the DPN to idleness, returning (id, finish time) pairs.
 fn drain(dpn: &mut Dpn, mut next: Option<SimTime>) -> Vec<(CohortId, SimTime)> {
@@ -21,93 +24,94 @@ fn drain(dpn: &mut Dpn, mut next: Option<SimTime>) -> Vec<(CohortId, SimTime)> {
     out
 }
 
-fn arb_cohorts() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    // (remaining ms, quantum ms)
-    prop::collection::vec((1u64..8000, 100u64..2000), 1..24)
+/// Random (remaining ms, quantum ms) pairs.
+fn gen_cohorts(case: u64, salt: u64) -> Vec<(u64, u64)> {
+    let mut r = Xoshiro256::seed_from_u64(0xD62 ^ salt ^ case.wrapping_mul(0x9E37_79B9));
+    let n = 1 + r.next_index(23);
+    (0..n)
+        .map(|_| (1 + r.next_range(7999), 100 + r.next_range(1900)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn work_conservation(cohorts in arb_cohorts()) {
-        let mut dpn = Dpn::new();
-        let mut first = None;
-        for (i, &(rem, q)) in cohorts.iter().enumerate() {
-            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
+fn load(dpn: &mut Dpn, cohorts: &[(u64, u64)]) -> Option<SimTime> {
+    let mut first = None;
+    for (i, &(rem, q)) in cohorts.iter().enumerate() {
+        let r = dpn.add_cohort(
+            SimTime::ZERO,
+            Cohort {
                 id: CohortId(i as u64),
                 remaining: Duration::from_millis(rem),
                 quantum: Duration::from_millis(q),
-            });
-            if let Some(t) = r { first = Some(t); }
+            },
+        );
+        if let Some(t) = r {
+            first = Some(t);
         }
+    }
+    first
+}
+
+#[test]
+fn work_conservation() {
+    for case in 0..CASES {
+        let cohorts = gen_cohorts(case, 1);
+        let mut dpn = Dpn::new();
+        let first = load(&mut dpn, &cohorts);
         let finished = drain(&mut dpn, first);
-        prop_assert_eq!(finished.len(), cohorts.len());
+        assert_eq!(finished.len(), cohorts.len());
         // Work conservation: the node never idles while work remains, so
         // the last completion equals total work.
         let total: u64 = cohorts.iter().map(|&(rem, _)| rem).sum();
         let makespan = finished.last().unwrap().1;
-        prop_assert_eq!(makespan, SimTime::from_millis(total));
-        prop_assert_eq!(dpn.busy_time(), Duration::from_millis(total));
-        prop_assert!(dpn.is_idle());
-        prop_assert_eq!(dpn.completed(), cohorts.len() as u64);
+        assert_eq!(makespan, SimTime::from_millis(total));
+        assert_eq!(dpn.busy_time(), Duration::from_millis(total));
+        assert!(dpn.is_idle());
+        assert_eq!(dpn.completed(), cohorts.len() as u64);
     }
+}
 
-    #[test]
-    fn completion_bounds(cohorts in arb_cohorts()) {
+#[test]
+fn completion_bounds() {
+    for case in 0..CASES {
         // Every cohort finishes no earlier than its own work and no later
         // than the total work.
+        let cohorts = gen_cohorts(case, 2);
         let mut dpn = Dpn::new();
-        let mut first = None;
-        for (i, &(rem, q)) in cohorts.iter().enumerate() {
-            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
-                id: CohortId(i as u64),
-                remaining: Duration::from_millis(rem),
-                quantum: Duration::from_millis(q),
-            });
-            if let Some(t) = r { first = Some(t); }
-        }
+        let first = load(&mut dpn, &cohorts);
         let total: u64 = cohorts.iter().map(|&(rem, _)| rem).sum();
         for (id, at) in drain(&mut dpn, first) {
             let own = cohorts[id.0 as usize].0;
-            prop_assert!(at >= SimTime::from_millis(own));
-            prop_assert!(at <= SimTime::from_millis(total));
+            assert!(at >= SimTime::from_millis(own));
+            assert!(at <= SimTime::from_millis(total));
         }
     }
+}
 
-    #[test]
-    fn equal_cohorts_finish_in_arrival_order(n in 2usize..12, work in 500u64..4000) {
+#[test]
+fn equal_cohorts_finish_in_arrival_order() {
+    for case in 0..CASES {
+        let mut r = Xoshiro256::seed_from_u64(0xF1F0 ^ case);
+        let n = 2 + r.next_index(10);
+        let work = 500 + r.next_range(3500);
+        let cohorts: Vec<(u64, u64)> = (0..n).map(|_| (work, 250)).collect();
         let mut dpn = Dpn::new();
-        let mut first = None;
-        for i in 0..n {
-            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
-                id: CohortId(i as u64),
-                remaining: Duration::from_millis(work),
-                quantum: Duration::from_millis(250),
-            });
-            if let Some(t) = r { first = Some(t); }
-        }
+        let first = load(&mut dpn, &cohorts);
         let finished = drain(&mut dpn, first);
         let order: Vec<u64> = finished.iter().map(|(c, _)| c.0).collect();
         let expect: Vec<u64> = (0..n as u64).collect();
-        prop_assert_eq!(order, expect, "equal work must preserve FIFO fairness");
+        assert_eq!(order, expect, "equal work must preserve FIFO fairness");
     }
+}
 
-    #[test]
-    fn utilization_is_one_while_busy(cohorts in arb_cohorts()) {
+#[test]
+fn utilization_is_one_while_busy() {
+    for case in 0..CASES {
+        let cohorts = gen_cohorts(case, 3);
         let mut dpn = Dpn::new();
-        let mut first = None;
-        for (i, &(rem, q)) in cohorts.iter().enumerate() {
-            let r = dpn.add_cohort(SimTime::ZERO, Cohort {
-                id: CohortId(i as u64),
-                remaining: Duration::from_millis(rem),
-                quantum: Duration::from_millis(q),
-            });
-            if let Some(t) = r { first = Some(t); }
-        }
+        let first = load(&mut dpn, &cohorts);
         let finished = drain(&mut dpn, first);
         let makespan = finished.last().unwrap().1;
         let u = dpn.utilization(makespan);
-        prop_assert!((u - 1.0).abs() < 1e-9, "utilization {u} during saturation");
+        assert!((u - 1.0).abs() < 1e-9, "utilization {u} during saturation");
     }
 }

@@ -155,9 +155,7 @@ mod tests {
     #[test]
     fn shared_lock_sets_coexist() {
         let mut s = Asl::new();
-        let read = |file| {
-            BatchSpec::new(vec![Step::read(file, LockMode::Shared, 2.0)])
-        };
+        let read = |file| BatchSpec::new(vec![Step::read(file, LockMode::Shared, 2.0)]);
         s.register(t(1), read(f(0)));
         s.register(t(2), read(f(0)));
         assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);

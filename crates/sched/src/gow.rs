@@ -69,9 +69,7 @@ impl Scheduler for Gow {
                 .graph
                 .txns()
                 .filter(|&other| other != id)
-                .filter(|&other| {
-                    bds_workload::conflict::conflicts(spec, self.core.spec(other))
-                })
+                .filter(|&other| bds_workload::conflict::conflicts(spec, self.core.spec(other)))
                 .collect()
         };
         if !chain::accepts_new_txn(&self.core.graph, &conflicts) {

@@ -97,7 +97,7 @@ impl<D> Outcome<D> {
 /// `register` → (`try_start` until `Admit`) → per step needing a lock:
 /// (`request` until `Granted`) → `step_complete` → … → `validate` →
 /// `commit` (or `abort` + later `try_start` again, for OPT restarts).
-pub trait Scheduler {
+pub trait Scheduler: Send {
     /// Short machine-readable name ("GOW", "LOW", …).
     fn name(&self) -> &'static str;
 
@@ -143,7 +143,7 @@ pub trait Scheduler {
 
 /// Which scheduler to run — the paper's six (C2PL+M is C2PL plus a
 /// simulator-level mpl cap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// No data contention (upper bound).
     Nodc,
@@ -182,9 +182,7 @@ impl SchedulerKind {
             SchedulerKind::Asl => Box::new(asl::Asl::new()),
             SchedulerKind::C2pl => Box::new(c2pl::C2pl::new(costs.dd_time)),
             SchedulerKind::Opt => Box::new(opt::Opt::new()),
-            SchedulerKind::Gow => {
-                Box::new(gow::Gow::new(costs.chain_time, costs.top_time))
-            }
+            SchedulerKind::Gow => Box::new(gow::Gow::new(costs.chain_time, costs.top_time)),
             SchedulerKind::Low(k) => Box::new(low::Low::new(k, costs.kwtpg_time)),
             SchedulerKind::Wdl => Box::new(wdl::Wdl::new(costs.dd_time)),
         }

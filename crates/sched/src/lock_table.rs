@@ -40,9 +40,7 @@ impl LockTable {
     pub fn can_grant(&self, txn: TxnId, file: FileId, mode: LockMode) -> bool {
         match self.holders.get(&file) {
             None => true,
-            Some(h) => h
-                .iter()
-                .all(|(&t, &m)| t == txn || m.compatible(mode)),
+            Some(h) => h.iter().all(|(&t, &m)| t == txn || m.compatible(mode)),
         }
     }
 
@@ -89,12 +87,7 @@ impl LockTable {
 
     /// Holders of `file` whose mode conflicts with `mode`, excluding
     /// `txn` itself.
-    pub fn conflicting_holders(
-        &self,
-        txn: TxnId,
-        file: FileId,
-        mode: LockMode,
-    ) -> Vec<TxnId> {
+    pub fn conflicting_holders(&self, txn: TxnId, file: FileId, mode: LockMode) -> Vec<TxnId> {
         self.holders
             .get(&file)
             .map(|h| {

@@ -62,11 +62,8 @@ impl Low {
                         // The other side's declaration also gains a
                         // conflicting partner; its own count must stay
                         // within K too.
-                        let other_count = self
-                            .core
-                            .conflicting_declarers(other, file, m)
-                            .len() as u32
-                            + 1;
+                        let other_count =
+                            self.core.conflicting_declarers(other, file, m).len() as u32 + 1;
                         if other_count > self.k {
                             return true;
                         }
@@ -83,12 +80,7 @@ impl Low {
     /// The orientations implied by granting a lock of `mode` on `file`
     /// to `who` (toward every conflicting declarer, decided or not —
     /// `eval_grant` maps decided-adverse pairs to ∞).
-    fn grant_orientations(
-        &self,
-        who: TxnId,
-        file: FileId,
-        mode: LockMode,
-    ) -> Vec<(TxnId, TxnId)> {
+    fn grant_orientations(&self, who: TxnId, file: FileId, mode: LockMode) -> Vec<(TxnId, TxnId)> {
         self.core
             .conflicting_declarers(who, file, mode)
             .into_iter()
@@ -278,10 +270,7 @@ mod tests {
     fn expensive_requester_is_delayed() {
         let mut s = low(2);
         // T1's grant leads to a longer critical path than granting T2.
-        s.register(
-            t(1),
-            BatchSpec::new(vec![w(f(2), 9.0), w(f(0), 1.0)]),
-        );
+        s.register(t(1), BatchSpec::new(vec![w(f(2), 9.0), w(f(0), 1.0)]));
         s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
         s.try_start(t(1));
         s.try_start(t(2));

@@ -48,7 +48,12 @@ impl Opt {
 
     /// Drop committed entries no active transaction can conflict with.
     fn prune(&mut self) {
-        let min_start = self.active.values().min().copied().unwrap_or(self.commit_seq);
+        let min_start = self
+            .active
+            .values()
+            .min()
+            .copied()
+            .unwrap_or(self.commit_seq);
         self.committed.retain(|e| e.seq > min_start);
     }
 }
@@ -85,7 +90,11 @@ impl Scheduler for Opt {
             .committed
             .iter()
             .filter(|e| e.seq > start_seq)
-            .any(|e| e.write_set.iter().any(|w| footprint.binary_search(w).is_ok()));
+            .any(|e| {
+                e.write_set
+                    .iter()
+                    .any(|w| footprint.binary_search(w).is_ok())
+            });
         if !ok {
             self.validation_failures += 1;
         }

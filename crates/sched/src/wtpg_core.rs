@@ -49,12 +49,7 @@ impl WtpgCore {
 
     /// The live transactions that declared an access to `file`
     /// conflicting with `mode`, other than `id`, in ascending id order.
-    pub fn conflicting_declarers(
-        &self,
-        id: TxnId,
-        file: FileId,
-        mode: LockMode,
-    ) -> Vec<TxnId> {
+    pub fn conflicting_declarers(&self, id: TxnId, file: FileId, mode: LockMode) -> Vec<TxnId> {
         self.by_file
             .get(&file)
             .into_iter()
@@ -97,12 +92,15 @@ impl WtpgCore {
                     .declare_conflict(id, other, w_new_other, w_other_new);
                 // If `other` already holds a conflicting lock on one of
                 // the pair's conflict files, its access came first.
-                let holds_first = conflict::conflicting_files(&spec, ospec)
-                    .into_iter()
-                    .any(|file| match (table.mode_held(other, file), spec.mode_on(file)) {
-                        (Some(held), Some(want)) => !held.compatible(want),
-                        _ => false,
-                    });
+                let holds_first =
+                    conflict::conflicting_files(&spec, ospec)
+                        .into_iter()
+                        .any(
+                            |file| match (table.mode_held(other, file), spec.mode_on(file)) {
+                                (Some(held), Some(want)) => !held.compatible(want),
+                                _ => false,
+                            },
+                        );
                 if holds_first {
                     self.set_precedence(other, id);
                 }
@@ -228,9 +226,15 @@ mod tests {
         assert_eq!(core.graph.t0_weight(t(2)), 4.0);
         // w(T1→T2): T2's first conflicting step is step 0 (f1): 3+1 = 4.
         let key = bds_wtpg::graph::PairKey::new(t(1), t(2));
-        assert_eq!(core.graph.edge(t(1), t(2)).unwrap().weight_from(key, t(1)), 4.0);
+        assert_eq!(
+            core.graph.edge(t(1), t(2)).unwrap().weight_from(key, t(1)),
+            4.0
+        );
         // w(T2→T1): T1's first conflicting step is step 1 (f1): 2.
-        assert_eq!(core.graph.edge(t(1), t(2)).unwrap().weight_from(key, t(2)), 2.0);
+        assert_eq!(
+            core.graph.edge(t(1), t(2)).unwrap().weight_from(key, t(2)),
+            2.0
+        );
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Property tests for the lock table: compatibility is never violated,
-//! release is complete, and the table agrees with a naive model.
+//! Randomized tests for the lock table: compatibility is never
+//! violated, release is complete, and the table agrees with a naive
+//! model. Operation sequences are generated from a fixed-seed
+//! [`Xoshiro256`] stream, so the suite is deterministic.
 
+use bds_des::rng::Xoshiro256;
 use bds_sched::lock_table::LockTable;
 use bds_workload::{FileId, LockMode};
 use bds_wtpg::TxnId;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+const CASES: u64 = 256;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,15 +17,24 @@ enum Op {
     ReleaseAll { txn: u8 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..12, 0u8..6, any::<bool>())
-                .prop_map(|(txn, file, exclusive)| Op::Acquire { txn, file, exclusive }),
-            (0u8..12).prop_map(|txn| Op::ReleaseAll { txn }),
-        ],
-        0..200,
-    )
+fn gen_ops(case: u64, salt: u64) -> Vec<Op> {
+    let mut r = Xoshiro256::seed_from_u64(0x10C4 ^ salt ^ case.wrapping_mul(0x9E37_79B9));
+    let n = r.next_index(200);
+    (0..n)
+        .map(|_| {
+            if r.next_range(3) < 2 {
+                Op::Acquire {
+                    txn: r.next_range(12) as u8,
+                    file: r.next_range(6) as u8,
+                    exclusive: r.next_range(2) == 1,
+                }
+            } else {
+                Op::ReleaseAll {
+                    txn: r.next_range(12) as u8,
+                }
+            }
+        })
+        .collect()
 }
 
 /// Naive reference: map file -> holders.
@@ -53,25 +66,31 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn table_agrees_with_model(ops in arb_ops()) {
+#[test]
+fn table_agrees_with_model() {
+    for case in 0..CASES {
         let mut table = LockTable::new();
         let mut model = Model::default();
-        for op in ops {
+        for op in gen_ops(case, 1) {
             match op {
-                Op::Acquire { txn, file, exclusive } => {
-                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                Op::Acquire {
+                    txn,
+                    file,
+                    exclusive,
+                } => {
+                    let mode = if exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
                     let t = TxnId(txn as u64);
                     let f = FileId(file as u32);
                     let expect = model.can_grant(txn, file, mode);
-                    prop_assert_eq!(table.can_grant(t, f, mode), expect);
+                    assert_eq!(table.can_grant(t, f, mode), expect);
                     if expect {
                         table.grant(t, f, mode);
                         model.grant(txn, file, mode);
-                        prop_assert!(table.holds_sufficient(t, f, mode));
+                        assert!(table.holds_sufficient(t, f, mode));
                     }
                 }
                 Op::ReleaseAll { txn } => {
@@ -80,9 +99,9 @@ proptest! {
                     model.release_all(txn);
                     // Released files no longer list the txn as holder.
                     for f in released {
-                        prop_assert!(table.mode_held(t, f).is_none());
+                        assert!(table.mode_held(t, f).is_none());
                     }
-                    prop_assert!(table.files_of(t).is_empty());
+                    assert!(table.files_of(t).is_empty());
                 }
             }
             // Global invariant: X-held files have exactly one holder.
@@ -93,22 +112,34 @@ proptest! {
                     .filter(|(_, m)| *m == LockMode::Exclusive)
                     .count();
                 if x_holders > 0 {
-                    prop_assert_eq!(
-                        holders.len(), 1,
-                        "X lock on F{} coexists with other holders", file
+                    assert_eq!(
+                        holders.len(),
+                        1,
+                        "X lock on F{} coexists with other holders",
+                        file
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn total_locks_matches_holder_sum(ops in arb_ops()) {
+#[test]
+fn total_locks_matches_holder_sum() {
+    for case in 0..CASES {
         let mut table = LockTable::new();
-        for op in ops {
+        for op in gen_ops(case, 2) {
             match op {
-                Op::Acquire { txn, file, exclusive } => {
-                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                Op::Acquire {
+                    txn,
+                    file,
+                    exclusive,
+                } => {
+                    let mode = if exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
                     let (t, f) = (TxnId(txn as u64), FileId(file as u32));
                     if table.can_grant(t, f, mode) {
                         table.grant(t, f, mode);
@@ -120,6 +151,6 @@ proptest! {
             }
         }
         let by_file: usize = (0u32..6).map(|f| table.holders(FileId(f)).len()).sum();
-        prop_assert_eq!(table.total_locks(), by_file);
+        assert_eq!(table.total_locks(), by_file);
     }
 }

@@ -7,24 +7,36 @@
 //! * the precedence constraints stay acyclic (serializability),
 //! * committing always releases exactly the held files,
 //! * live counts never go negative or leak.
+//!
+//! Mixes and schedules come from a fixed-seed [`Xoshiro256`] stream, so
+//! the suite is deterministic.
 
+use bds_des::rng::Xoshiro256;
 use bds_des::time::Duration;
 use bds_machine::CostBook;
-use bds_sched::{ReqDecision, Scheduler, SchedulerKind, StartDecision};
+use bds_sched::{ReqDecision, SchedulerKind, StartDecision};
 use bds_workload::spec::{Access, Step};
 use bds_workload::{BatchSpec, FileId, LockMode};
 use bds_wtpg::oracle::is_serializable;
 use bds_wtpg::TxnId;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
+const CASES: u64 = 96;
+
+fn rng(case: u64, salt: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(0x5AFE ^ salt ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// A randomly generated batch over `files` files with 1–4 steps.
-fn arb_spec(files: u32) -> impl Strategy<Value = BatchSpec> {
-    prop::collection::vec((0..files, any::<bool>(), 1u32..6), 1..5).prop_map(|steps| {
-        BatchSpec::new(
-            steps
-                .into_iter()
-                .map(|(f, write, cost)| Step {
+fn gen_spec(r: &mut Xoshiro256, files: u32) -> BatchSpec {
+    let n = 1 + r.next_index(4);
+    BatchSpec::new(
+        (0..n)
+            .map(|_| {
+                let f = r.next_range(u64::from(files)) as u32;
+                let write = r.next_range(2) == 1;
+                let cost = 1 + r.next_range(5);
+                Step {
                     file: FileId(f),
                     mode: if write {
                         LockMode::Exclusive
@@ -34,10 +46,18 @@ fn arb_spec(files: u32) -> impl Strategy<Value = BatchSpec> {
                     access: if write { Access::Write } else { Access::Read },
                     cost: cost as f64,
                     declared: cost as f64,
-                })
-                .collect(),
-        )
-    })
+                }
+            })
+            .collect(),
+    )
+}
+
+fn gen_mix(r: &mut Xoshiro256) -> (Vec<BatchSpec>, Vec<u8>) {
+    let n = 1 + r.next_index(7);
+    let specs = (0..n).map(|_| gen_spec(r, 6)).collect();
+    let steps = r.next_index(300);
+    let schedule = (0..steps).map(|_| r.next_range(256) as u8).collect();
+    (specs, schedule)
 }
 
 /// Tracks the externally visible state of one transaction.
@@ -115,49 +135,54 @@ fn drive(kind: SchedulerKind, specs: Vec<BatchSpec>, schedule: Vec<u8>) {
     assert_eq!(sched.live_count(), live_expected, "{kind}: live-count leak");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn asl_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
-                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
-        drive(SchedulerKind::Asl, specs, schedule);
+fn drive_cases(kind: SchedulerKind, salt: u64) {
+    for case in 0..CASES {
+        let mut r = rng(case, salt);
+        let (specs, schedule) = gen_mix(&mut r);
+        drive(kind, specs, schedule);
     }
+}
 
-    #[test]
-    fn c2pl_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
-                 schedule in prop::collection::vec(any::<u8>(), 0..300)) {
-        drive(SchedulerKind::C2pl, specs, schedule);
-    }
+#[test]
+fn asl_safe() {
+    drive_cases(SchedulerKind::Asl, 1);
+}
 
-    #[test]
-    fn gow_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
-                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
-        drive(SchedulerKind::Gow, specs, schedule);
-    }
+#[test]
+fn c2pl_safe() {
+    drive_cases(SchedulerKind::C2pl, 2);
+}
 
-    #[test]
-    fn low_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
-                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
-        drive(SchedulerKind::Low(2), specs, schedule);
-    }
+#[test]
+fn gow_safe() {
+    drive_cases(SchedulerKind::Gow, 3);
+}
 
-    #[test]
-    fn low_k1_and_k4_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
-                          schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn low_safe() {
+    drive_cases(SchedulerKind::Low(2), 4);
+}
+
+#[test]
+fn low_k1_and_k4_safe() {
+    for case in 0..CASES {
+        let mut r = rng(case, 5);
+        let (specs, schedule) = gen_mix(&mut r);
         drive(SchedulerKind::Low(1), specs.clone(), schedule.clone());
         drive(SchedulerKind::Low(4), specs, schedule);
     }
+}
 
-    #[test]
-    fn wdl_safe(specs in prop::collection::vec(arb_spec(6), 1..8),
-                schedule in prop::collection::vec(any::<u8>(), 0..300)) {
-        drive(SchedulerKind::Wdl, specs, schedule);
-    }
+#[test]
+fn wdl_safe() {
+    drive_cases(SchedulerKind::Wdl, 6);
+}
 
-    #[test]
-    fn opt_validation_never_blocks(specs in prop::collection::vec(arb_spec(6), 1..8),
-                                   schedule in prop::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn opt_validation_never_blocks() {
+    for case in 0..CASES {
+        let mut r = rng(case, 7);
+        let (specs, schedule) = gen_mix(&mut r);
         // OPT never returns Blocked/Delayed — every request is granted.
         let costs = CostBook::default();
         let mut sched = SchedulerKind::Opt.build(&costs);
@@ -169,7 +194,7 @@ proptest! {
             let id = (pick as usize) % specs.len();
             let spec = &specs[id];
             let step = (pick as usize / specs.len()) % spec.len();
-            prop_assert_eq!(
+            assert_eq!(
                 sched.request(TxnId(id as u64), step).decision,
                 ReqDecision::Granted
             );

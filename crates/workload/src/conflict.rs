@@ -33,10 +33,9 @@ pub fn conflicting_files(a: &BatchSpec, b: &BatchSpec) -> Vec<FileId> {
 /// Index of `b`'s first step whose access conflicts with `a`'s declared
 /// lock set — i.e. the step at which `a` can first block `b`.
 pub fn first_conflicting_step(a: &BatchSpec, b: &BatchSpec) -> Option<usize> {
-    b.steps.iter().position(|sb| {
-        a.mode_on(sb.file)
-            .is_some_and(|ma| !ma.compatible(sb.mode))
-    })
+    b.steps
+        .iter()
+        .position(|sb| a.mode_on(sb.file).is_some_and(|ma| !ma.compatible(sb.mode)))
 }
 
 /// Directed WTPG edge weight `a → b`: `b`'s declared demand from its

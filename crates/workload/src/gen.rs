@@ -16,7 +16,7 @@ use bds_des::dist::{Discrete, Normal, Sample};
 use bds_des::rng::Xoshiro256;
 
 /// A source of batch-transaction instances.
-pub trait WorkloadGen {
+pub trait WorkloadGen: Send {
     /// Generate the next transaction's specification.
     fn next_batch(&mut self) -> BatchSpec;
     /// Number of files in the database this workload addresses.
@@ -134,7 +134,11 @@ impl<G: WorkloadGen> WorkloadGen for WithEstimationError<G> {
         let mut batch = self.inner.next_batch();
         for step in &mut batch.steps {
             let x = self.error.sample(&mut self.rng);
-            let declared = if x <= -1.0 { 0.0 } else { step.cost * (1.0 + x) };
+            let declared = if x <= -1.0 {
+                0.0
+            } else {
+                step.cost * (1.0 + x)
+            };
             step.declared = declared;
         }
         batch
@@ -364,6 +368,9 @@ mod tests {
                 hot_hits += 1;
             }
         }
-        assert!(hot_hits > n * 3 / 4, "only {hot_hits}/{n} touched hot files");
+        assert!(
+            hot_hits > n * 3 / 4,
+            "only {hot_hits}/{n} touched hot files"
+        );
     }
 }

@@ -5,10 +5,9 @@
 //! pattern's file placeholders to randomly chosen files.
 
 use crate::spec::{Access, BatchSpec, FileId, LockMode, Step};
-use serde::{Deserialize, Serialize};
 
 /// A step template: like [`Step`] but with a symbolic file slot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepTemplate {
     /// Index into the pattern's file-slot list.
     pub slot: usize,
@@ -22,7 +21,7 @@ pub struct StepTemplate {
 
 /// A transaction pattern: an ordered list of step templates over
 /// `num_slots` file placeholders.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
     /// Number of distinct file slots the pattern binds.
     pub num_slots: usize,

@@ -1,13 +1,10 @@
 //! Core workload types: files, lock modes, steps and transaction specs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a file (the locking granule — §2 of the paper: "a file
 /// is used as a locking-granule").
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FileId(pub u32);
 
 impl fmt::Debug for FileId {
@@ -23,7 +20,7 @@ impl fmt::Display for FileId {
 }
 
 /// File-level lock modes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockMode {
     /// Shared — a reading step.
     Shared,
@@ -61,7 +58,7 @@ impl LockMode {
 /// Whether a step reads or writes its file — used by the optimistic
 /// scheduler's read/write sets (lock mode may be stronger than the
 /// access, e.g. Experiment 1 reads under X-locks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// The step only reads the file.
     Read,
@@ -70,7 +67,7 @@ pub enum Access {
 }
 
 /// One step of a batch transaction: a full scan of `file`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Step {
     /// The file scanned by this step.
     pub file: FileId,
@@ -121,7 +118,7 @@ impl Step {
 
 /// A concrete batch-transaction instance: the ordered steps plus
 /// convenience accessors over the declaration.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BatchSpec {
     /// The sequential steps (the implicit commitment step is not listed).
     pub steps: Vec<Step>,

@@ -110,9 +110,7 @@ pub fn chains(g: &Wtpg) -> Vec<Vec<TxnId>> {
         visited.insert(v);
         let mut cur = v;
         loop {
-            let next = g
-                .neighbors(cur)
-                .find(|n| !visited.contains(n));
+            let next = g.neighbors(cur).find(|n| !visited.contains(n));
             match next {
                 Some(n) => {
                     visited.insert(n);
@@ -507,10 +505,7 @@ mod tests {
 
     #[test]
     fn forced_in_long_chain() {
-        let g = path_graph(
-            &[1.0; 4],
-            &[(5.0, 2.0), (5.0, 2.0), (5.0, 2.0)],
-        );
+        let g = path_graph(&[1.0; 4], &[(5.0, 2.0), (5.0, 2.0), (5.0, 2.0)]);
         let free = min_critical(&g, &[]);
         for w in [(t(1), t(2)), (t(2), t(1)), (t(2), t(3)), (t(3), t(4))] {
             let forced = min_critical(&g, &[w]);

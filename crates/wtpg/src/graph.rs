@@ -5,7 +5,6 @@
 //! `BTreeMap`/`BTreeSet` based for deterministic iteration order (the
 //! simulator must be bit-for-bit reproducible).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -14,9 +13,7 @@ use std::fmt;
 /// `T0` and `Tf` are implicit: `T0`'s outgoing weights live on the nodes
 /// (remaining I/O demand) and every `Ti → Tf` weight is zero under the
 /// paper's cost model.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TxnId(pub u64);
 
 impl fmt::Debug for TxnId {
@@ -33,7 +30,7 @@ impl fmt::Display for TxnId {
 
 /// Direction of a decided (precedence) edge within a normalized pair
 /// `(lo, hi)` where `lo < hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// `lo → hi` (the smaller id precedes the larger).
     LoToHi,
@@ -52,7 +49,7 @@ impl Direction {
 }
 
 /// State of the edge between a conflicting transaction pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeState {
     /// Undecided: both serialization orders are still possible.
     Conflict,
@@ -61,7 +58,7 @@ pub enum EdgeState {
 }
 
 /// Normalized unordered pair key: `lo < hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PairKey {
     /// Smaller transaction id.
     pub lo: TxnId,
@@ -95,7 +92,7 @@ impl PairKey {
 }
 
 /// Weighted edge between a conflicting pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairEdge {
     /// Weight of the `lo → hi` candidate direction (cost `hi` still pays
     /// from the first step at which `lo` can block it, through commit).
@@ -128,7 +125,7 @@ impl PairEdge {
 }
 
 /// Per-transaction node data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Node {
     /// Weight of `T0 → Ti`: the transaction's *remaining* I/O demand
     /// before its commitment, in objects. This is the only weight that is
@@ -137,7 +134,7 @@ pub struct Node {
 }
 
 /// The weighted transaction-precedence graph.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Wtpg {
     nodes: BTreeMap<TxnId, Node>,
     edges: BTreeMap<PairKey, PairEdge>,
@@ -206,7 +203,9 @@ impl Wtpg {
     /// # Panics
     /// Panics if the transaction is not present.
     pub fn remove_txn(&mut self, t: TxnId) {
-        self.nodes.remove(&t).expect("remove of unknown transaction");
+        self.nodes
+            .remove(&t)
+            .expect("remove of unknown transaction");
         let neighbors = self.adj.remove(&t).unwrap_or_default();
         for n in neighbors {
             self.edges.remove(&PairKey::new(t, n));
@@ -253,7 +252,11 @@ impl Wtpg {
             "invalid conflict weights"
         );
         let key = PairKey::new(a, b);
-        let (w_lo_hi, w_hi_lo) = if a == key.lo { (w_ab, w_ba) } else { (w_ba, w_ab) };
+        let (w_lo_hi, w_hi_lo) = if a == key.lo {
+            (w_ab, w_ba)
+        } else {
+            (w_ba, w_ab)
+        };
         let state = self
             .edges
             .get(&key)
@@ -310,8 +313,14 @@ impl Wtpg {
         match edge.state {
             EdgeState::Conflict => {
                 edge.state = EdgeState::Precedence(dir);
-                self.succ.get_mut(&from).expect("from node missing").insert(to);
-                self.pred.get_mut(&to).expect("to node missing").insert(from);
+                self.succ
+                    .get_mut(&from)
+                    .expect("from node missing")
+                    .insert(to);
+                self.pred
+                    .get_mut(&to)
+                    .expect("to node missing")
+                    .insert(from);
                 true
             }
             EdgeState::Precedence(d) if d == dir => false,
@@ -332,7 +341,8 @@ impl Wtpg {
 
     /// Whether the pair still has an undecided conflict edge.
     pub fn is_conflict(&self, a: TxnId, b: TxnId) -> bool {
-        self.edge(a, b).is_some_and(|e| e.state == EdgeState::Conflict)
+        self.edge(a, b)
+            .is_some_and(|e| e.state == EdgeState::Conflict)
     }
 
     /// Directed precedence successors of `t` with edge weights.

@@ -1,12 +1,40 @@
-//! Property tests: the GOW chain dynamic program must agree with
-//! exhaustive enumeration of full serializable orders, and the path
-//! algorithms must satisfy their structural invariants.
+//! Randomized property tests: the GOW chain dynamic program must agree
+//! with exhaustive enumeration of full serializable orders, and the
+//! path algorithms must satisfy their structural invariants. Inputs come
+//! from a fixed-seed SplitMix64 stream (the crate is dependency-free),
+//! so the suite is deterministic.
 
 use bds_wtpg::chain::{chains, is_chain_form, min_critical};
 use bds_wtpg::oracle::min_critical_bruteforce;
 use bds_wtpg::paths::{critical_path, distances, has_cycle, propagate, reachable};
 use bds_wtpg::{TxnId, Wtpg};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
+
+/// Minimal deterministic RNG (SplitMix64) for test-input generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(case: u64, salt: u64) -> Self {
+        Rng(0x57F6_C4A1 ^ salt ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
 
 fn t(i: u64) -> TxnId {
     TxnId(i)
@@ -14,140 +42,164 @@ fn t(i: u64) -> TxnId {
 
 /// A random chain-form WTPG: one path of `n` nodes with random weights,
 /// and each edge possibly pre-decided.
-fn arb_chain() -> impl Strategy<Value = Wtpg> {
-    (2usize..9)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(0.0f64..10.0, n),
-                prop::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0u8..3), n - 1),
-            )
-        })
-        .prop_map(|(t0s, edges)| {
-            let mut g = Wtpg::new();
-            for (i, &w0) in t0s.iter().enumerate() {
-                g.add_txn(t(i as u64), w0);
+fn gen_chain(r: &mut Rng) -> Wtpg {
+    let n = 2 + r.next_index(7);
+    let mut g = Wtpg::new();
+    for i in 0..n {
+        g.add_txn(t(i as u64), r.next_f64() * 10.0);
+    }
+    for i in 0..n - 1 {
+        let a = t(i as u64);
+        let b = t(i as u64 + 1);
+        g.declare_conflict(a, b, r.next_f64() * 10.0, r.next_f64() * 10.0);
+        match r.next_index(3) {
+            1 => {
+                g.set_precedence(a, b);
             }
-            for (i, &(wf, wb, decided)) in edges.iter().enumerate() {
-                let a = t(i as u64);
-                let b = t(i as u64 + 1);
-                g.declare_conflict(a, b, wf, wb);
-                match decided {
-                    1 => {
-                        g.set_precedence(a, b);
-                    }
-                    2 => {
-                        g.set_precedence(b, a);
-                    }
-                    _ => {}
-                }
+            2 => {
+                g.set_precedence(b, a);
             }
-            g
-        })
+            _ => {}
+        }
+    }
+    g
 }
 
 /// A random *forest* of chains (multiple components).
-fn arb_chain_forest() -> impl Strategy<Value = Wtpg> {
-    prop::collection::vec(arb_chain(), 1..3).prop_map(|graphs| {
-        let mut g = Wtpg::new();
-        let mut offset = 0u64;
-        for part in graphs {
-            let ids: Vec<TxnId> = part.txns().collect();
-            for id in &ids {
-                g.add_txn(t(id.0 + offset), part.t0_weight(*id));
-            }
-            for (key, edge) in part.edges() {
-                let a = t(key.lo.0 + offset);
-                let b = t(key.hi.0 + offset);
-                g.declare_conflict(a, b, edge.w_lo_hi, edge.w_hi_lo);
-                if let Some((from, to)) = edge.decided(key) {
-                    g.set_precedence(t(from.0 + offset), t(to.0 + offset));
-                }
-            }
-            offset += ids.len() as u64;
+fn gen_chain_forest(r: &mut Rng) -> Wtpg {
+    let parts = 1 + r.next_index(2);
+    let mut g = Wtpg::new();
+    let mut offset = 0u64;
+    for _ in 0..parts {
+        let part = gen_chain(r);
+        let ids: Vec<TxnId> = part.txns().collect();
+        for id in &ids {
+            g.add_txn(t(id.0 + offset), part.t0_weight(*id));
         }
-        g
-    })
+        for (key, edge) in part.edges() {
+            let a = t(key.lo.0 + offset);
+            let b = t(key.hi.0 + offset);
+            g.declare_conflict(a, b, edge.w_lo_hi, edge.w_hi_lo);
+            if let Some((from, to)) = edge.decided(key) {
+                g.set_precedence(t(from.0 + offset), t(to.0 + offset));
+            }
+        }
+        offset += ids.len() as u64;
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn chain_dp_matches_bruteforce(g in arb_chain()) {
-        prop_assert!(is_chain_form(&g));
+#[test]
+fn chain_dp_matches_bruteforce() {
+    for case in 0..CASES {
+        let g = gen_chain(&mut Rng::new(case, 1));
+        assert!(is_chain_form(&g));
         let fast = min_critical(&g, &[]);
         let slow = min_critical_bruteforce(&g, &[]);
-        prop_assert!((fast - slow).abs() < 1e-9,
-            "dp={fast} bruteforce={slow}");
+        assert!((fast - slow).abs() < 1e-9, "dp={fast} bruteforce={slow}");
     }
+}
 
-    #[test]
-    fn chain_dp_matches_bruteforce_on_forests(g in arb_chain_forest()) {
-        prop_assert!(is_chain_form(&g));
+#[test]
+fn chain_dp_matches_bruteforce_on_forests() {
+    for case in 0..CASES {
+        let g = gen_chain_forest(&mut Rng::new(case, 2));
+        assert!(is_chain_form(&g));
         let fast = min_critical(&g, &[]);
         let slow = min_critical_bruteforce(&g, &[]);
-        prop_assert!(
-            (fast.is_infinite() && slow.is_infinite())
-            || (fast - slow).abs() < 1e-9,
-            "dp={fast} bruteforce={slow}");
+        assert!(
+            (fast.is_infinite() && slow.is_infinite()) || (fast - slow).abs() < 1e-9,
+            "dp={fast} bruteforce={slow}"
+        );
     }
+}
 
-    #[test]
-    fn forced_orientation_never_beats_free(g in arb_chain()) {
+#[test]
+fn forced_orientation_never_beats_free() {
+    for case in 0..CASES {
+        let g = gen_chain(&mut Rng::new(case, 3));
         let free = min_critical(&g, &[]);
         let pairs: Vec<_> = g.edges().map(|(k, _)| k).collect();
         for key in pairs {
             for (a, b) in [(key.lo, key.hi), (key.hi, key.lo)] {
                 let forced = min_critical(&g, &[(a, b)]);
-                prop_assert!(forced + 1e-9 >= free,
-                    "forcing {a:?}->{b:?} gave {forced} < free {free}");
+                assert!(
+                    forced + 1e-9 >= free,
+                    "forcing {a:?}->{b:?} gave {forced} < free {free}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn some_forced_orientation_achieves_optimum(g in arb_chain()) {
+#[test]
+fn some_forced_orientation_achieves_optimum() {
+    for case in 0..CASES {
+        let g = gen_chain(&mut Rng::new(case, 4));
         let free = min_critical(&g, &[]);
-        prop_assume!(free.is_finite());
+        if !free.is_finite() {
+            continue;
+        }
         for (key, _) in g.edges() {
             let lo_hi = min_critical(&g, &[(key.lo, key.hi)]);
             let hi_lo = min_critical(&g, &[(key.hi, key.lo)]);
-            prop_assert!(
+            assert!(
                 (lo_hi - free).abs() < 1e-9 || (hi_lo - free).abs() < 1e-9,
-                "neither direction of {key:?} achieves the optimum");
+                "neither direction of {key:?} achieves the optimum"
+            );
         }
     }
+}
 
-    #[test]
-    fn critical_path_at_least_max_t0(g in arb_chain_forest()) {
-        prop_assume!(!has_cycle(&g));
+#[test]
+fn critical_path_at_least_max_t0() {
+    for case in 0..CASES {
+        let g = gen_chain_forest(&mut Rng::new(case, 5));
+        if has_cycle(&g) {
+            continue;
+        }
         let cp = critical_path(&g);
         for v in g.txns() {
-            prop_assert!(cp + 1e-9 >= g.t0_weight(v));
+            assert!(cp + 1e-9 >= g.t0_weight(v));
         }
     }
+}
 
-    #[test]
-    fn critical_path_monotone_in_t0(g in arb_chain(), bump in 0.1f64..5.0) {
-        prop_assume!(!has_cycle(&g));
+#[test]
+fn critical_path_monotone_in_t0() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case, 6);
+        let g = gen_chain(&mut r);
+        let bump = 0.1 + r.next_f64() * 4.9;
+        if has_cycle(&g) {
+            continue;
+        }
         let before = critical_path(&g);
         let mut g2 = g.clone();
         let first = g2.txns().next().unwrap();
         g2.set_t0_weight(first, g2.t0_weight(first) + bump);
-        prop_assert!(critical_path(&g2) + 1e-9 >= before);
+        assert!(critical_path(&g2) + 1e-9 >= before);
     }
+}
 
-    #[test]
-    fn distances_bound_critical_path(g in arb_chain()) {
-        prop_assume!(!has_cycle(&g));
+#[test]
+fn distances_bound_critical_path() {
+    for case in 0..CASES {
+        let g = gen_chain(&mut Rng::new(case, 7));
+        if has_cycle(&g) {
+            continue;
+        }
         let cp = critical_path(&g);
         let d = distances(&g);
         let max_d = d.values().cloned().fold(0.0, f64::max);
-        prop_assert!((cp - max_d).abs() < 1e-9);
+        assert!((cp - max_d).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn propagation_preserves_acyclicity_or_errors(g in arb_chain_forest()) {
+#[test]
+fn propagation_preserves_acyclicity_or_errors() {
+    for case in 0..CASES {
+        let g = gen_chain_forest(&mut Rng::new(case, 8));
         let mut g2 = g.clone();
         match propagate(&mut g2) {
             Ok(()) => {
@@ -155,13 +207,13 @@ proptest! {
                 // so if the input precedence graph was acyclic the output
                 // must be too.
                 if !has_cycle(&g) {
-                    prop_assert!(!has_cycle(&g2));
+                    assert!(!has_cycle(&g2));
                 }
                 // Every newly decided pair must be justified by
                 // reachability in the *output* graph.
                 for (key, edge) in g2.edges() {
                     if let Some((from, to)) = edge.decided(key) {
-                        prop_assert!(reachable(&g2, from, to));
+                        assert!(reachable(&g2, from, to));
                     }
                 }
             }
@@ -171,19 +223,22 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn chains_partition_nodes(g in arb_chain_forest()) {
+#[test]
+fn chains_partition_nodes() {
+    for case in 0..CASES {
+        let g = gen_chain_forest(&mut Rng::new(case, 9));
         let cs = chains(&g);
         let mut all: Vec<TxnId> = cs.iter().flatten().copied().collect();
         all.sort_unstable();
         let mut expect: Vec<TxnId> = g.txns().collect();
         expect.sort_unstable();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect);
         // consecutive chain nodes must share an edge
         for c in &cs {
             for w in c.windows(2) {
-                prop_assert!(g.edge(w[0], w[1]).is_some());
+                assert!(g.edge(w[0], w[1]).is_some());
             }
         }
     }

@@ -4,9 +4,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use batchsched::config::{SimConfig, WorkloadKind};
-use batchsched::sim::Simulator;
 use batchsched::des::Duration;
 use batchsched::sched::SchedulerKind;
+use batchsched::sim::Simulator;
 
 fn main() {
     // Experiment 1 of the paper: batch transactions following

@@ -38,7 +38,11 @@ fn read_only_workload_has_no_contention() {
     reference.lambda_tps = 0.8;
     reference.horizon = Duration::from_secs(600);
     let nodc = Simulator::run(&reference);
-    for kind in [SchedulerKind::Asl, SchedulerKind::C2pl, SchedulerKind::Low(2)] {
+    for kind in [
+        SchedulerKind::Asl,
+        SchedulerKind::C2pl,
+        SchedulerKind::Low(2),
+    ] {
         let mut cfg = reference.clone();
         cfg.scheduler = kind;
         let r = Simulator::run(&cfg);
@@ -78,11 +82,8 @@ fn skewed_popularity_increases_contention() {
         );
         cfg.lambda_tps = 0.6;
         cfg.horizon = Duration::from_secs(600);
-        let mut sim = Simulator::with_generator(
-            &cfg,
-            Box::new(genr),
-            Xoshiro256::seed_from_u64(cfg.seed),
-        );
+        let mut sim =
+            Simulator::with_generator(&cfg, Box::new(genr), Xoshiro256::seed_from_u64(cfg.seed));
         sim.run_to_horizon();
         sim.report()
     };

@@ -49,10 +49,14 @@ fn data_contention_saturates_before_resources() {
 #[test]
 fn wtpg_and_asl_beat_c2pl_and_opt() {
     let lambda = 0.65;
-    let good: Vec<SimReport> = [SchedulerKind::Asl, SchedulerKind::Gow, SchedulerKind::Low(2)]
-        .into_iter()
-        .map(|k| exp1(k, lambda, 1))
-        .collect();
+    let good: Vec<SimReport> = [
+        SchedulerKind::Asl,
+        SchedulerKind::Gow,
+        SchedulerKind::Low(2),
+    ]
+    .into_iter()
+    .map(|k| exp1(k, lambda, 1))
+    .collect();
     let c2pl = exp1(SchedulerKind::C2pl, lambda, 1);
     let opt = exp1(SchedulerKind::Opt, lambda, 1);
     for r in &good {
@@ -77,7 +81,11 @@ fn wtpg_and_asl_beat_c2pl_and_opt() {
 /// scheduler's throughput improves from 8 to 64 files.
 #[test]
 fn more_files_mean_less_contention() {
-    for kind in [SchedulerKind::Asl, SchedulerKind::Low(2), SchedulerKind::C2pl] {
+    for kind in [
+        SchedulerKind::Asl,
+        SchedulerKind::Low(2),
+        SchedulerKind::C2pl,
+    ] {
         let tight = run(kind, WorkloadKind::Exp1 { num_files: 8 }, 0.6, 1);
         let loose = run(kind, WorkloadKind::Exp1 { num_files: 64 }, 0.6, 1);
         assert!(
