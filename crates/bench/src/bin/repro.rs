@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv] [--jobs N] [artifact...]
+//! repro [--quick] [--csv] [--jobs N] [--trace DIR] [artifact...]
 //! ```
 //!
 //! With no artifact arguments, every table and figure is regenerated in
@@ -13,20 +13,138 @@
 //! independent simulation cells across `N` worker threads (default: all
 //! cores; the tables are byte-identical at any job count).
 //!
-//! Per-artifact wall-clock timings, simulator-invocation counts, and
-//! cache-hit counts are written as machine-readable JSON to
-//! `BENCH_repro.json` in the working directory.
+//! `--trace DIR` additionally re-runs one high-contention Fig. 8 point
+//! (Exp. 1, 16 files, DD = 1, λ = 1.1) per paper scheduler with the
+//! lifecycle tracer on and writes, per scheduler, a Chrome
+//! `trace_event` JSON (`fig8_<sched>.chrome.json`, loadable in
+//! Perfetto / `chrome://tracing`) and a span-summary JSON
+//! (`fig8_<sched>.spans.json`) into DIR.
+//!
+//! Per-artifact wall-clock timings, simulator-invocation counts,
+//! cache-hit counts, and the measured tracing overhead (both with the
+//! ring recorder on and for the disabled no-op path) are written as
+//! machine-readable JSON to `BENCH_repro.json` in the working
+//! directory.
 
+use batchsched::config::{SimConfig, WorkloadKind};
+use batchsched::des::time::SimTime;
 use batchsched::des::Duration;
 use batchsched::experiments::{default_jobs, run_artifact_with, ExpOptions, ARTIFACT_IDS};
 use batchsched::metrics::JsonObj;
 use batchsched::parallel::ExecCtx;
+use batchsched::sim::Simulator;
+use batchsched::trace::{chrome_trace, Analysis, EventKind, Rec, Tracer};
+use batchsched::wtpg::TxnId;
+use bds_sched::SchedulerKind;
 use std::time::Instant;
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro [--quick] [--csv] [--jobs N] [artifact...]");
+    eprintln!("usage: repro [--quick] [--csv] [--jobs N] [--trace DIR] [artifact...]");
     std::process::exit(2);
+}
+
+/// The traced Fig. 8 point: high contention, where the schedulers'
+/// wait-time anatomies differ the most.
+fn traced_point(kind: SchedulerKind, opts: &ExpOptions) -> SimConfig {
+    let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+    c.horizon = opts.horizon;
+    c.seed = opts.seed;
+    c.lambda_tps = 1.1;
+    c
+}
+
+/// Ring capacity for `--trace` exports: full-horizon Fig. 8 points emit
+/// a few million events; keep them all so the span summaries are exact.
+const TRACE_CAPACITY: usize = 1 << 23;
+
+/// Run the traced Fig. 8 point for every paper scheduler and write the
+/// Chrome trace + span summary per scheduler into `dir`.
+fn write_trace_exports(dir: &str, opts: &ExpOptions) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: could not create trace dir '{dir}': {e}");
+        std::process::exit(1);
+    }
+    for kind in SchedulerKind::PAPER_SET {
+        let cfg = traced_point(kind, opts);
+        let (report, data) = Simulator::run_traced(&cfg, TRACE_CAPACITY);
+        let analysis = Analysis::from_data(&data);
+        let label = kind
+            .label()
+            .to_lowercase()
+            .replace("(k=", "_k")
+            .replace(')', "");
+        let chrome_path = format!("{dir}/fig8_{label}.chrome.json");
+        let spans_path = format!("{dir}/fig8_{label}.spans.json");
+        if let Err(e) = std::fs::write(&chrome_path, chrome_trace(&data)) {
+            eprintln!("error: could not write {chrome_path}: {e}");
+            std::process::exit(1);
+        }
+        let mut o = JsonObj::new();
+        o.str("scheduler", &report.scheduler);
+        o.num("lambda_tps", report.lambda_tps);
+        o.num("horizon_secs", report.horizon_secs);
+        o.int("report_completed", report.completed);
+        o.int("report_restarts", report.restarts);
+        analysis.write_summary(&mut o);
+        if let Err(e) = std::fs::write(&spans_path, format!("{}\n", o.finish())) {
+            eprintln!("error: could not write {spans_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[trace {label}: {} events, {} committed -> {chrome_path}, {spans_path}]",
+            data.counts.total(),
+            report.completed
+        );
+    }
+}
+
+/// Measure tracing overhead on a short fixed C2PL point: wall time with
+/// the ring recorder on vs off, plus the estimated cost of the disabled
+/// (`Tracer::Off`) path — events that would have been emitted times the
+/// measured per-call cost of a no-op `emit`.
+fn measure_trace_overhead(bench: &mut JsonObj) {
+    let mut cfg = SimConfig::new(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files: 16 });
+    cfg.lambda_tps = 1.1;
+    cfg.horizon = Duration::from_secs(200);
+    let t0 = Instant::now();
+    let plain = Simulator::run(&cfg);
+    let off_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (traced, data) = Simulator::run_traced(&cfg, 1 << 22);
+    let on_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        plain.to_json(),
+        traced.to_json(),
+        "tracing perturbed the simulation"
+    );
+    // Per-call cost of emit on a disabled tracer (the closure is never
+    // run; black_box keeps the loop from vanishing).
+    let mut off = Tracer::Off;
+    let iters: u64 = 20_000_000;
+    let t2 = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(&mut off).emit(|| Rec {
+            at: SimTime::from_millis(i),
+            kind: EventKind::Commit { txn: TxnId(i) },
+        });
+    }
+    let ns_per_emit = t2.elapsed().as_nanos() as f64 / iters as f64;
+    let events = data.counts.total();
+    let disabled_secs = events as f64 * ns_per_emit * 1e-9;
+    let mut o = JsonObj::new();
+    o.num("off_secs", off_secs);
+    o.num("on_secs", on_secs);
+    o.int("events", events);
+    o.num("ring_overhead_pct", (on_secs - off_secs) / off_secs * 100.0);
+    o.num("disabled_ns_per_event", ns_per_emit);
+    o.num("disabled_overhead_pct", disabled_secs / off_secs * 100.0);
+    bench.raw("trace", &o.finish());
+    eprintln!(
+        "[trace overhead: ring {:+.1}%, disabled path {:.3}% ({events} events, {ns_per_emit:.2} ns/emit)]",
+        (on_secs - off_secs) / off_secs * 100.0,
+        disabled_secs / off_secs * 100.0
+    );
 }
 
 fn main() {
@@ -34,11 +152,18 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let mut jobs = default_jobs();
+    let mut trace_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" | "--csv" => {}
+            "--trace" => {
+                let Some(d) = it.next() else {
+                    usage_exit("--trace requires a directory");
+                };
+                trace_dir = Some(d);
+            }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     usage_exit("--jobs requires a positive integer");
@@ -111,8 +236,12 @@ fn main() {
         o.int("cache_hits", cache_hits);
         timings.push(o.finish());
     }
+    if let Some(dir) = &trace_dir {
+        write_trace_exports(dir, &opts);
+    }
     let mut bench = JsonObj::new();
     bench.str("bin", "repro");
+    measure_trace_overhead(&mut bench);
     bench.int("jobs", opts.jobs as u64);
     bench.raw("quick", if quick { "true" } else { "false" });
     bench.num("horizon_secs", opts.horizon.as_secs_f64());

@@ -60,5 +60,6 @@ pub use sim::Simulator;
 pub use bds_des as des;
 pub use bds_machine as machine;
 pub use bds_sched as sched;
+pub use bds_trace as trace;
 pub use bds_workload as workload;
 pub use bds_wtpg as wtpg;

@@ -2,6 +2,8 @@
 
 use bds_des::stats::Welford;
 
+pub use bds_trace::json::{JsonArr, JsonObj};
+
 /// The report of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -97,83 +99,6 @@ impl SimReport {
         o.int("lock_requests", self.lock_requests);
         o.int("requests_denied", self.requests_denied);
         o.finish()
-    }
-}
-
-/// Minimal JSON object writer: enough for flat reports (string, number,
-/// and null values; keys are known identifiers, values are escaped).
-#[derive(Debug, Default)]
-pub struct JsonObj {
-    buf: String,
-}
-
-impl JsonObj {
-    /// Start an empty object.
-    pub fn new() -> Self {
-        JsonObj { buf: String::new() }
-    }
-
-    fn key(&mut self, k: &str) {
-        if !self.buf.is_empty() {
-            self.buf.push(',');
-        }
-        self.buf.push('"');
-        self.buf.push_str(k);
-        self.buf.push_str("\":");
-    }
-
-    /// Append a string field (escapes quotes and backslashes).
-    pub fn str(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.buf.push('"');
-        for c in v.chars() {
-            match c {
-                '"' => self.buf.push_str("\\\""),
-                '\\' => self.buf.push_str("\\\\"),
-                '\n' => self.buf.push_str("\\n"),
-                c if (c as u32) < 0x20 => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
-                c => self.buf.push(c),
-            }
-        }
-        self.buf.push('"');
-    }
-
-    /// Append a float field (`null` when non-finite — JSON has no inf).
-    pub fn num(&mut self, k: &str, v: f64) {
-        self.key(k);
-        if v.is_finite() {
-            self.buf.push_str(&format!("{v}"));
-        } else {
-            self.buf.push_str("null");
-        }
-    }
-
-    /// Append an integer field.
-    pub fn int(&mut self, k: &str, v: u64) {
-        self.key(k);
-        self.buf.push_str(&v.to_string());
-    }
-
-    /// Append an optional float field (`null` when absent).
-    pub fn opt_num(&mut self, k: &str, v: Option<f64>) {
-        match v {
-            Some(x) => self.num(k, x),
-            None => {
-                self.key(k);
-                self.buf.push_str("null");
-            }
-        }
-    }
-
-    /// Append a raw pre-rendered JSON value (nested object/array).
-    pub fn raw(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.buf.push_str(v);
-    }
-
-    /// Close the object.
-    pub fn finish(self) -> String {
-        format!("{{{}}}", self.buf)
     }
 }
 

@@ -28,10 +28,11 @@ use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use bds_des::fcfs::FcfsServer;
 use bds_des::stats::{Histogram, TimeWeighted, Welford};
-use bds_des::time::SimTime;
+use bds_des::time::{Duration, SimTime};
 use bds_des::EventQueue;
 use bds_machine::{Cohort, CohortId, Dpn, Placement};
 use bds_sched::{ReqDecision, Scheduler, StartDecision};
+use bds_trace::{EventKind, Rec, TraceData, Tracer};
 use bds_workload::arrivals::PoissonArrivals;
 use bds_workload::gen::WorkloadGen;
 use bds_workload::{BatchSpec, FileId};
@@ -119,6 +120,11 @@ pub struct Simulator {
     requests_denied: u64,
     retry_tick_armed: bool,
     label: String,
+    /// Lifecycle tracer. Lives on the simulator, **not** on `SimConfig`:
+    /// the report must stay a pure function of the configuration
+    /// (`cache_key` hashes the config), and tracing must never perturb
+    /// the simulation itself.
+    tracer: Tracer,
 }
 
 impl Simulator {
@@ -172,6 +178,7 @@ impl Simulator {
             requests_denied: 0,
             retry_tick_armed: false,
             label: cfg.scheduler.label(),
+            tracer: Tracer::Off,
             cfg: cfg.clone(),
         }
     }
@@ -181,6 +188,31 @@ impl Simulator {
         let mut sim = Simulator::new(cfg);
         sim.run_to_horizon();
         sim.report()
+    }
+
+    /// Run with a ring-buffer tracer of the given capacity and return
+    /// both the report and the captured trace. The report is
+    /// byte-identical to an untraced [`Simulator::run`] of the same
+    /// configuration — tracing only observes.
+    pub fn run_traced(cfg: &SimConfig, capacity: usize) -> (SimReport, TraceData) {
+        let mut sim = Simulator::new(cfg);
+        sim.set_tracer(Tracer::ring(capacity));
+        sim.run_to_horizon();
+        let report = sim.report();
+        let data = sim.take_trace().expect("ring tracer was installed");
+        (report, data)
+    }
+
+    /// Install a tracer (replace any previous one). Call before
+    /// [`Simulator::run_to_horizon`] to capture the whole run.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Detach the tracer and return its captured data (`None` when
+    /// tracing was off).
+    pub fn take_trace(&mut self) -> Option<TraceData> {
+        std::mem::take(&mut self.tracer).finish()
     }
 
     /// Drive the event loop until the horizon.
@@ -259,6 +291,46 @@ impl Simulator {
         self.events.now()
     }
 
+    /// Enqueue CN work, tracing the busy span `[begin, end]` when the
+    /// demand is non-zero. `what` labels the burst ("sot", "cot", …).
+    fn cn_work(
+        &mut self,
+        now: SimTime,
+        demand: Duration,
+        txn: Option<TxnId>,
+        what: &'static str,
+    ) -> SimTime {
+        let (begin, end) = self.cn.enqueue_span(now, demand);
+        if !demand.is_zero() {
+            self.tracer.emit(|| Rec {
+                at: end,
+                kind: EventKind::CnCpu {
+                    txn,
+                    what,
+                    start: begin,
+                },
+            });
+        }
+        end
+    }
+
+    /// Record precedence edges the scheduler decided since the last call.
+    /// Only drains the scheduler's constraint log when tracing is on, so
+    /// the serializability audit (which drains it itself) is unaffected
+    /// by untraced runs.
+    fn trace_edges(&mut self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let now = self.now();
+        for (from, to) in self.scheduler.drain_constraints() {
+            self.tracer.emit(|| Rec {
+                at: now,
+                kind: EventKind::WtpgEdge { from, to },
+            });
+        }
+    }
+
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Arrival => self.on_arrival(),
@@ -266,6 +338,11 @@ impl Simulator {
             Event::SliceEnd { node } => self.on_slice_end(node),
             Event::RetryTick => self.on_retry_tick(),
             Event::Restart { id } => {
+                let now = self.now();
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::Restart { txn: id },
+                });
                 self.start_queue.push_back(id);
                 self.try_admissions();
             }
@@ -297,6 +374,10 @@ impl Simulator {
             },
         );
         self.arrived += 1;
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::Arrival { txn: id },
+        });
         self.start_queue.push_back(id);
         // Next arrival.
         let t = self.arrivals.pop();
@@ -324,12 +405,17 @@ impl Simulator {
             let id = self.start_queue[i];
             let outcome = self.scheduler.try_start(id);
             if !outcome.cpu.is_zero() {
-                self.cn.enqueue(now, outcome.cpu);
+                self.cn_work(now, outcome.cpu, Some(id), "sched");
                 costed_tests += 1;
             }
             match outcome.decision {
                 StartDecision::Admit => {
                     self.start_queue.remove(i);
+                    self.tracer.emit(|| Rec {
+                        at: now,
+                        kind: EventKind::Admit { txn: id },
+                    });
+                    self.trace_edges();
                     let txn = self.txns.get_mut(&id).expect("admitted unknown txn");
                     if !txn.ever_started {
                         txn.ever_started = true;
@@ -337,7 +423,7 @@ impl Simulator {
                     }
                     txn.step = 0;
                     self.live.add(now, 1.0);
-                    let done = self.cn.enqueue(now, self.cfg.costs.sot_time);
+                    let done = self.cn_work(now, self.cfg.costs.sot_time, Some(id), "sot");
                     self.events.schedule_at(
                         done,
                         Event::CnDone {
@@ -347,6 +433,11 @@ impl Simulator {
                     );
                 }
                 StartDecision::Refuse => {
+                    let reason = outcome.reason.unwrap_or("refused");
+                    self.tracer.emit(|| Rec {
+                        at: now,
+                        kind: EventKind::AdmitRefuse { txn: id, reason },
+                    });
                     i += 1;
                     if costed_tests >= self.cfg.admission_scan_limit {
                         break;
@@ -374,7 +465,7 @@ impl Simulator {
         } else {
             // Lock already covered: only the send message is needed.
             let now = self.now();
-            let done = self.cn.enqueue(now, self.cfg.costs.msg_time);
+            let done = self.cn_work(now, self.cfg.costs.msg_time, Some(id), "msg");
             self.events.schedule_at(
                 done,
                 Event::CnDone {
@@ -390,13 +481,36 @@ impl Simulator {
     fn submit_request(&mut self, id: TxnId, step: usize, pending_seq: Option<u64>) -> bool {
         let now = self.now();
         self.lock_requests += 1;
+        let file = self.txns[&id].spec.steps[step].file;
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::LockRequest {
+                txn: id,
+                step: step as u32,
+                file,
+            },
+        });
         let outcome = self.scheduler.request(id, step);
         match outcome.decision {
             ReqDecision::Granted => {
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::LockGrant {
+                        txn: id,
+                        step: step as u32,
+                        file,
+                    },
+                });
+                self.trace_edges();
                 if let Some(seq) = pending_seq {
                     self.pending.remove(&seq);
                 }
-                let done = self.cn.enqueue(now, outcome.cpu + self.cfg.costs.msg_time);
+                let done = self.cn_work(
+                    now,
+                    outcome.cpu + self.cfg.costs.msg_time,
+                    Some(id),
+                    "grant+msg",
+                );
                 self.events.schedule_at(
                     done,
                     Event::CnDone {
@@ -407,8 +521,18 @@ impl Simulator {
                 true
             }
             ReqDecision::Restart => {
+                let reason = outcome.reason.unwrap_or("restart");
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::LockRestart {
+                        txn: id,
+                        step: step as u32,
+                        file,
+                        reason,
+                    },
+                });
                 if !outcome.cpu.is_zero() {
-                    self.cn.enqueue(now, outcome.cpu);
+                    self.cn_work(now, outcome.cpu, Some(id), "sched");
                 }
                 if let Some(seq) = pending_seq {
                     self.pending.remove(&seq);
@@ -418,7 +542,7 @@ impl Simulator {
             }
             ReqDecision::Blocked | ReqDecision::Delayed => {
                 if !outcome.cpu.is_zero() {
-                    self.cn.enqueue(now, outcome.cpu);
+                    self.cn_work(now, outcome.cpu, Some(id), "sched");
                 }
                 self.requests_denied += 1;
                 let kind = if outcome.decision == ReqDecision::Blocked {
@@ -426,7 +550,27 @@ impl Simulator {
                 } else {
                     WaitKind::Delayed
                 };
-                let file = self.txns[&id].spec.steps[step].file;
+                let reason = outcome.reason.unwrap_or(match kind {
+                    WaitKind::Blocked => "lock-held",
+                    WaitKind::Delayed => "delayed",
+                });
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: match kind {
+                        WaitKind::Blocked => EventKind::LockBlock {
+                            txn: id,
+                            step: step as u32,
+                            file,
+                            reason,
+                        },
+                        WaitKind::Delayed => EventKind::LockDeny {
+                            txn: id,
+                            step: step as u32,
+                            file,
+                            reason,
+                        },
+                    },
+                });
                 match pending_seq {
                     Some(seq) => {
                         let p = self.pending.get_mut(&seq).expect("pending vanished");
@@ -460,12 +604,19 @@ impl Simulator {
             let s = &self.txns[&id].spec.steps[step];
             (s.file, s.cost)
         };
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::StepDispatch {
+                txn: id,
+                step: step as u32,
+            },
+        });
         let nodes = self.placement.nodes(file);
         let per_cohort = self.placement.cohort_objects(cost);
         let work = self.cfg.costs.scan_time(per_cohort);
         if work.is_zero() {
             // Degenerate zero-I/O step: return immediately (receive msg).
-            let done = self.cn.enqueue(now, self.cfg.costs.msg_time);
+            let done = self.cn_work(now, self.cfg.costs.msg_time, Some(id), "recv");
             self.events.schedule_at(
                 done,
                 Event::CnDone {
@@ -485,6 +636,14 @@ impl Simulator {
             let cid = CohortId(self.next_cohort);
             self.next_cohort += 1;
             self.cohort_owner.insert(cid, id);
+            self.tracer.emit(|| Rec {
+                at: start_at,
+                kind: EventKind::CohortStart {
+                    txn: id,
+                    step: step as u32,
+                    node: node.0,
+                },
+            });
             let cohort = Cohort {
                 id: cid,
                 remaining: work,
@@ -505,11 +664,30 @@ impl Simulator {
         if let Some(end) = out.next_slice_end {
             self.events.schedule_at(end, Event::SliceEnd { node });
         }
+        if self.tracer.enabled() {
+            // Owner lookup must precede the `finished` removal below.
+            if let Some(&txn) = self.cohort_owner.get(&out.ran) {
+                let start = now - out.slice;
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::Quantum { txn, node, start },
+                });
+            }
+        }
         if let Some(cid) = out.finished {
             let id = self
                 .cohort_owner
                 .remove(&cid)
                 .expect("finished cohort has no owner");
+            let cur_step = self.txns[&id].step as u32;
+            self.tracer.emit(|| Rec {
+                at: now,
+                kind: EventKind::CohortFinish {
+                    txn: id,
+                    step: cur_step,
+                    node,
+                },
+            });
             let step = {
                 let txn = self.txns.get_mut(&id).expect("cohort of unknown txn");
                 txn.outstanding_cohorts -= 1;
@@ -520,7 +698,7 @@ impl Simulator {
             };
             // All cohorts returned to the home node; the transaction
             // returns to the CN (receive message).
-            let done = self.cn.enqueue(now, self.cfg.costs.msg_time);
+            let done = self.cn_work(now, self.cfg.costs.msg_time, Some(id), "recv");
             self.events.schedule_at(
                 done,
                 Event::CnDone {
@@ -532,6 +710,14 @@ impl Simulator {
     }
 
     fn finish_step(&mut self, id: TxnId, step: usize) {
+        let now = self.now();
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::StepDone {
+                txn: id,
+                step: step as u32,
+            },
+        });
         self.scheduler.step_complete(id, step);
         let total_steps = self.txns[&id].spec.len();
         let next = step + 1;
@@ -539,8 +725,7 @@ impl Simulator {
         if next < total_steps {
             self.begin_step(id, next);
         } else {
-            let now = self.now();
-            let done = self.cn.enqueue(now, self.cfg.costs.cot_time);
+            let done = self.cn_work(now, self.cfg.costs.cot_time, Some(id), "cot");
             self.events.schedule_at(
                 done,
                 Event::CnDone {
@@ -554,11 +739,19 @@ impl Simulator {
     fn finish_txn(&mut self, id: TxnId) {
         let now = self.now();
         let valid = self.scheduler.validate(id).decision;
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::Certify { txn: id, ok: valid },
+        });
         if valid {
             let released = self.scheduler.commit(id);
             let txn = self.txns.remove(&id).expect("commit of unknown txn");
             self.live.add(now, -1.0);
             self.completed += 1;
+            self.tracer.emit(|| Rec {
+                at: now,
+                kind: EventKind::Commit { txn: id },
+            });
             let rt_secs = now.since(txn.arrival).as_secs_f64();
             self.rt.push(rt_secs);
             self.rt_hist.record(rt_secs);
@@ -584,6 +777,10 @@ impl Simulator {
     fn restart_txn(&mut self, id: TxnId) {
         let now = self.now();
         self.restarts += 1;
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::Abort { txn: id },
+        });
         let released = self.scheduler.abort(id);
         self.live.add(now, -1.0);
         let txn = self.txns.get_mut(&id).expect("abort of unknown txn");

@@ -42,6 +42,13 @@ impl FcfsServer {
     /// callers must enqueue in non-decreasing event order, which the event
     /// queue guarantees.
     pub fn enqueue(&mut self, now: SimTime, demand: Duration) -> SimTime {
+        self.enqueue_span(now, demand).1
+    }
+
+    /// Like [`FcfsServer::enqueue`], but also returns the instant service
+    /// *begins* — the `(begin, end)` span the work occupies the server,
+    /// which tracers record as a CPU burst.
+    pub fn enqueue_span(&mut self, now: SimTime, demand: Duration) -> (SimTime, SimTime) {
         let begin = if self.free_at > now {
             self.free_at
         } else {
@@ -59,7 +66,7 @@ impl FcfsServer {
             self.busy.set(now, 1.0);
         }
         self.free_at = end;
-        end
+        (begin, end)
     }
 
     /// Record the passage of idle time: callers may invoke this at the end
@@ -158,6 +165,22 @@ mod tests {
         s.enqueue(SimTime::ZERO, Duration::from_millis(10_000));
         let u = s.utilization(SimTime::from_millis(1000));
         assert!((u - 1.0).abs() < 1e-9, "u = {u}");
+    }
+
+    #[test]
+    fn enqueue_span_reports_begin_and_end() {
+        let mut s = FcfsServer::new(SimTime::ZERO);
+        let (b1, e1) = s.enqueue_span(SimTime::from_millis(10), Duration::from_millis(20));
+        assert_eq!(
+            (b1, e1),
+            (SimTime::from_millis(10), SimTime::from_millis(30))
+        );
+        // Queued work begins when the server frees up, not at `now`.
+        let (b2, e2) = s.enqueue_span(SimTime::from_millis(15), Duration::from_millis(5));
+        assert_eq!(
+            (b2, e2),
+            (SimTime::from_millis(30), SimTime::from_millis(35))
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct SliceOutcome {
     pub finished: Option<CohortId>,
     /// End time of the next slice to schedule, if the node stays busy.
     pub next_slice_end: Option<SimTime>,
+    /// Cohort that ran during the slice that just ended.
+    pub ran: CohortId,
+    /// Length of the slice that just ended (tracers reconstruct the
+    /// slice's span as `[now - slice, now]`).
+    pub slice: Duration,
 }
 
 /// A data-processing node.
@@ -161,6 +166,8 @@ impl Dpn {
         SliceOutcome {
             finished,
             next_slice_end,
+            ran: cohort.id,
+            slice: run.slice_len,
         }
     }
 }
@@ -303,6 +310,19 @@ mod tests {
     fn zero_work_cohort_rejected() {
         let mut d = Dpn::new();
         d.add_cohort(SimTime::ZERO, cohort(1, 0, 1000));
+    }
+
+    #[test]
+    fn slice_outcome_reports_ran_cohort_and_length() {
+        let mut d = Dpn::new();
+        let first = d.add_cohort(SimTime::ZERO, cohort(1, 2000, 1000)).unwrap();
+        let out = d.on_slice_end(first);
+        assert_eq!(out.ran, CohortId(1));
+        assert_eq!(out.slice, Duration::from_millis(1000));
+        assert!(out.finished.is_none());
+        let out2 = d.on_slice_end(out.next_slice_end.unwrap());
+        assert_eq!(out2.ran, CohortId(1));
+        assert_eq!(out2.finished, Some(CohortId(1)));
     }
 
     #[test]

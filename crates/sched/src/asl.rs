@@ -50,7 +50,7 @@ impl Scheduler for Asl {
             .iter()
             .all(|&(file, mode)| self.table.can_grant(id, file, mode));
         if !all_free {
-            return Outcome::free(StartDecision::Refuse);
+            return Outcome::free(StartDecision::Refuse).because("lock-set-unavailable");
         }
         for (file, mode) in lock_set {
             self.table.grant(id, file, mode);

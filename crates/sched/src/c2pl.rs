@@ -93,12 +93,13 @@ impl Scheduler for C2pl {
         let s = self.core.spec(id).steps[step];
         // Phase 1: conflicts with a held lock → blocked.
         if !self.table.can_grant(id, s.file, s.mode) {
-            return Outcome::costed(ReqDecision::Blocked, self.dd_time);
+            return Outcome::costed(ReqDecision::Blocked, self.dd_time).because("lock-held");
         }
         // Phase 2: deadlock prediction over declared accesses.
         let orientations = self.core.implied_orientations(id, s.file, s.mode);
         if self.creates_cycle(&orientations) {
-            return Outcome::costed(ReqDecision::Delayed, self.dd_time);
+            return Outcome::costed(ReqDecision::Delayed, self.dd_time)
+                .because("predicted-deadlock");
         }
         // Grant.
         self.table.grant(id, s.file, s.mode);
@@ -191,7 +192,9 @@ mod tests {
         // T1 gets A; orientation T1 → T2 (T2 declared A).
         assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
         // T2 requests B: would orient T2 → T1, closing the cycle.
-        assert_eq!(s.request(t(2), 0).decision, ReqDecision::Delayed);
+        let o = s.request(t(2), 0);
+        assert_eq!(o.decision, ReqDecision::Delayed);
+        assert_eq!(o.reason, Some("predicted-deadlock"));
         // T1 can proceed to B (consistent direction), then commit.
         assert_eq!(s.request(t(1), 1).decision, ReqDecision::Granted);
         s.commit(t(1));

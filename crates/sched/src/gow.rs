@@ -74,7 +74,7 @@ impl Scheduler for Gow {
         };
         if !chain::accepts_new_txn(&self.core.graph, &conflicts) {
             self.chain_refusals += 1;
-            return Outcome::costed(StartDecision::Refuse, self.top_time);
+            return Outcome::costed(StartDecision::Refuse, self.top_time).because("chain-form");
         }
         self.core.add_live(id, &self.table);
         debug_assert!(chain::is_chain_form(&self.core.graph));
@@ -85,7 +85,7 @@ impl Scheduler for Gow {
         let s = self.core.spec(id).steps[step];
         // Phase 1: conflicts with the current lock held on the file.
         if !self.table.can_grant(id, s.file, s.mode) {
-            return Outcome::free(ReqDecision::Blocked);
+            return Outcome::free(ReqDecision::Blocked).because("lock-held");
         }
         let orientations = self.core.implied_orientations(id, s.file, s.mode);
         // Decided-adverse pairs make the grant non-serializable outright.
@@ -108,7 +108,12 @@ impl Scheduler for Gow {
             chain::min_critical(&self.core.graph, &orientations)
         };
         if forced > optimal + 1e-9 {
-            return Outcome::costed(ReqDecision::Delayed, self.chain_time);
+            let reason = if adverse {
+                "decided-adverse"
+            } else {
+                "critical-path"
+            };
+            return Outcome::costed(ReqDecision::Delayed, self.chain_time).because(reason);
         }
         // Phase 4: grant and enforce the decided edges.
         self.table.grant(id, s.file, s.mode);
@@ -211,6 +216,7 @@ mod tests {
         s.try_start(t(2));
         let o = s.request(t(2), 1);
         assert_eq!(o.decision, ReqDecision::Delayed);
+        assert_eq!(o.reason, Some("critical-path"));
         // After T1 takes and finishes with F0 the order is decided
         // T1 → T2; once T1 commits, T2's request succeeds.
         assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);

@@ -74,6 +74,10 @@ pub struct Outcome<D> {
     pub decision: D,
     /// CPU time to charge on the control node.
     pub cpu: Duration,
+    /// Short static policy reason for a refusal/denial decision, surfaced
+    /// in traces (e.g. `"predicted-deadlock"`, `"E(q)>E(p)"`). `None` for
+    /// grants and for decisions whose cause is self-evident.
+    pub reason: Option<&'static str>,
 }
 
 impl<D> Outcome<D> {
@@ -82,12 +86,23 @@ impl<D> Outcome<D> {
         Outcome {
             decision,
             cpu: Duration::ZERO,
+            reason: None,
         }
     }
 
     /// A decision with a CPU charge.
     pub fn costed(decision: D, cpu: Duration) -> Self {
-        Outcome { decision, cpu }
+        Outcome {
+            decision,
+            cpu,
+            reason: None,
+        }
+    }
+
+    /// Attach a policy reason (builder-style).
+    pub fn because(mut self, reason: &'static str) -> Self {
+        self.reason = Some(reason);
+        self
     }
 }
 

@@ -101,7 +101,7 @@ impl Scheduler for Low {
     fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
         if self.violates_k(id) {
             self.k_refusals += 1;
-            return Outcome::free(StartDecision::Refuse);
+            return Outcome::free(StartDecision::Refuse).because("k-conflict");
         }
         self.core.add_live(id, &self.table);
         Outcome::free(StartDecision::Admit)
@@ -111,7 +111,7 @@ impl Scheduler for Low {
         let s = self.core.spec(id).steps[step];
         // Phase 1: conflicts with the current lock held on the file.
         if !self.table.can_grant(id, s.file, s.mode) {
-            return Outcome::free(ReqDecision::Blocked);
+            return Outcome::free(ReqDecision::Blocked).because("lock-held");
         }
         let declarers = self.core.conflicting_declarers(id, s.file, s.mode);
         if declarers.is_empty() {
@@ -125,7 +125,7 @@ impl Scheduler for Low {
         let e_q = eq::eval_grant(&self.core.graph, &orientations_q);
         if e_q.is_infinite() {
             // Granting q would deadlock (or contradict a decided order).
-            return Outcome::costed(ReqDecision::Delayed, cpu);
+            return Outcome::costed(ReqDecision::Delayed, cpu).because("deadlock-risk");
         }
         // Phase 3: E(p) for each conflicting declaration p on the file,
         // capped at K competitors (deterministically: smallest ids).
@@ -145,7 +145,7 @@ impl Scheduler for Low {
             let e_p = eq::eval_grant(&self.core.graph, &orientations_p);
             cpu += self.kwtpg_time;
             if e_q > e_p + 1e-9 {
-                return Outcome::costed(ReqDecision::Delayed, cpu);
+                return Outcome::costed(ReqDecision::Delayed, cpu).because("E(q)>E(p)");
             }
         }
         // Phase 4: grant, orient, propagate forced pairs (Fig. 6).

@@ -97,8 +97,9 @@ impl Scheduler for Opt {
             });
         if !ok {
             self.validation_failures += 1;
+            return Outcome::free(false).because("validation-conflict");
         }
-        Outcome::free(ok)
+        Outcome::free(true)
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {

@@ -80,10 +80,10 @@ impl Scheduler for Wdl {
             // Waiting here would create a chain of depth ≥ 2: restart.
             self.restarts += 1;
             self.waiting.remove(&id);
-            Outcome::costed(ReqDecision::Restart, self.check_time)
+            Outcome::costed(ReqDecision::Restart, self.check_time).because("wait-depth")
         } else {
             self.waiting.insert(id);
-            Outcome::costed(ReqDecision::Blocked, self.check_time)
+            Outcome::costed(ReqDecision::Blocked, self.check_time).because("lock-held")
         }
     }
 

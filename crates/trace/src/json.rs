@@ -1,0 +1,196 @@
+//! Minimal hand-rolled JSON writers.
+//!
+//! The workspace carries no external serialization dependency; these
+//! writers cover the flat objects and arrays the reports and trace
+//! exporters need. Keys and string values are both escaped, so arbitrary
+//! scheduler/file labels can never produce invalid JSON.
+
+/// Escape `v` into `out` as JSON string *contents* (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, control characters become
+/// `\n`/`\r`/`\t` or `\u00XX`.
+pub fn escape_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape `v` as a complete JSON string literal, quotes included.
+pub fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    escape_into(&mut out, v);
+    out.push('"');
+    out
+}
+
+/// Minimal JSON object writer: enough for flat reports (string, number,
+/// and null values). Both keys and values are escaped.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Append a string field.
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+    }
+
+    /// Append a float field (`null` when non-finite — JSON has no inf).
+    pub fn num(&mut self, k: &str, v: f64) {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Append an integer field.
+    pub fn int(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Append a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Append an optional float field (`null` when absent).
+    pub fn opt_num(&mut self, k: &str, v: Option<f64>) {
+        match v {
+            Some(x) => self.num(k, x),
+            None => {
+                self.key(k);
+                self.buf.push_str("null");
+            }
+        }
+    }
+
+    /// Append a raw pre-rendered JSON value (nested object/array).
+    pub fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Minimal JSON array writer; elements are pre-rendered JSON values.
+#[derive(Debug, Default)]
+pub struct JsonArr {
+    buf: String,
+}
+
+impl JsonArr {
+    /// Start an empty array.
+    pub fn new() -> Self {
+        JsonArr { buf: String::new() }
+    }
+
+    /// Append a raw pre-rendered JSON value.
+    pub fn raw(&mut self, v: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(v);
+    }
+
+    /// Append a string element.
+    pub fn str(&mut self, v: &str) {
+        let e = escape(v);
+        self.raw(&e);
+    }
+
+    /// Append an integer element.
+    pub fn int(&mut self, v: u64) {
+        let s = v.to_string();
+        self.raw(&s);
+    }
+
+    /// Number of elements appended so far is not tracked; emptiness is.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Close the array.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_keys_and_values() {
+        let mut o = JsonObj::new();
+        o.str("ke\"y", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(o.finish(), r#"{"ke\"y":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn numbers_and_nulls() {
+        let mut o = JsonObj::new();
+        o.num("x", 1.5);
+        o.num("inf", f64::INFINITY);
+        o.opt_num("none", None);
+        o.int("n", 7);
+        o.bool("b", true);
+        assert_eq!(
+            o.finish(),
+            r#"{"x":1.5,"inf":null,"none":null,"n":7,"b":true}"#
+        );
+    }
+
+    #[test]
+    fn arrays_compose_with_objects() {
+        let mut arr = JsonArr::new();
+        assert!(arr.is_empty());
+        let mut inner = JsonObj::new();
+        inner.int("i", 1);
+        arr.raw(&inner.finish());
+        arr.str("two");
+        arr.int(3);
+        let mut o = JsonObj::new();
+        o.raw("items", &arr.finish());
+        assert_eq!(o.finish(), r#"{"items":[{"i":1},"two",3]}"#);
+    }
+
+    #[test]
+    fn escape_produces_quoted_literal() {
+        assert_eq!(escape("a\"b"), r#""a\"b""#);
+        assert_eq!(escape(""), r#""""#);
+    }
+}

@@ -7,8 +7,13 @@
 //! cells execute — or which thread runs them — cannot leak into the
 //! output. Row assembly is by index, never by completion order.
 
+use batchsched::config::{SimConfig, WorkloadKind};
+use batchsched::des::Duration;
 use batchsched::experiments::{self, ExpOptions, ARTIFACT_IDS};
-use batchsched::parallel::ExecCtx;
+use batchsched::parallel::{map_jobs, ExecCtx};
+use batchsched::sim::Simulator;
+use batchsched::trace::{chrome_trace, Analysis};
+use bds_sched::SchedulerKind;
 
 #[test]
 fn artifacts_identical_at_jobs_1_and_jobs_8() {
@@ -29,4 +34,37 @@ fn artifacts_identical_at_jobs_1_and_jobs_8() {
     }
     // Both contexts must have simulated the same set of distinct points.
     assert_eq!(serial.cache().len(), parallel.cache().len());
+}
+
+/// Traces are part of the determinism contract too: a traced run must
+/// produce byte-identical report JSON, Chrome trace and span summary no
+/// matter how many workers execute the batch.
+#[test]
+fn traced_exports_identical_at_jobs_1_and_jobs_8() {
+    let cells: Vec<SimConfig> = SchedulerKind::PAPER_SET
+        .iter()
+        .map(|&kind| {
+            let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+            c.lambda_tps = 1.1;
+            c.horizon = Duration::from_secs(200);
+            c
+        })
+        .collect();
+    let render = |jobs: usize| -> Vec<[String; 3]> {
+        map_jobs(&cells, jobs, |_, cfg| {
+            let (report, data) = Simulator::run_traced(cfg, 1 << 20);
+            let summary = Analysis::from_data(&data).summary_json();
+            [report.to_json(), chrome_trace(&data), summary]
+        })
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "traced exports for {} differ between --jobs 1 and --jobs 8",
+            SchedulerKind::PAPER_SET[i]
+        );
+    }
 }
