@@ -21,10 +21,11 @@
 //! (`fig8_<sched>.spans.json`) into DIR.
 //!
 //! Per-artifact wall-clock timings, simulator-invocation counts,
-//! cache-hit counts, and the measured tracing overhead (both with the
-//! ring recorder on and for the disabled no-op path) are written as
-//! machine-readable JSON to `BENCH_repro.json` in the working
-//! directory.
+//! cache-hit counts, per-scheduler wall-clock timings of a fixed
+//! high-contention point (the `"schedulers"` array), and the measured
+//! tracing overhead (both with the ring recorder on and for the
+//! disabled no-op path) are written as machine-readable JSON to
+//! `BENCH_repro.json` in the working directory.
 
 use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::time::SimTime;
@@ -147,6 +148,34 @@ fn measure_trace_overhead(bench: &mut JsonObj) {
     );
 }
 
+/// Wall-clock one fixed high-contention Fig. 8 point (Exp. 1, 16 files,
+/// λ = 1.1, 200 s horizon) per paper scheduler. The scheduler decision
+/// hot path dominates this point, so these timings track the
+/// arena/incremental-engine optimizations release over release; see
+/// `benches/wtpg_hot_path.rs` for the isolated decision microbenchmark.
+fn measure_scheduler_wallclock(bench: &mut JsonObj) {
+    let mut rows: Vec<String> = Vec::new();
+    for kind in SchedulerKind::PAPER_SET {
+        let mut cfg = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+        cfg.lambda_tps = 1.1;
+        cfg.horizon = Duration::from_secs(200);
+        let label = kind.label();
+        let t0 = Instant::now();
+        let report = Simulator::run(&cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let mut o = JsonObj::new();
+        o.str("scheduler", &label);
+        o.num("secs", secs);
+        o.int("completed", report.completed);
+        rows.push(o.finish());
+        eprintln!(
+            "[sched {label}: {secs:.3}s wall, {} committed]",
+            report.completed
+        );
+    }
+    bench.raw("schedulers", &format!("[{}]", rows.join(",")));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -242,6 +271,7 @@ fn main() {
     let mut bench = JsonObj::new();
     bench.str("bin", "repro");
     measure_trace_overhead(&mut bench);
+    measure_scheduler_wallclock(&mut bench);
     bench.int("jobs", opts.jobs as u64);
     bench.raw("quick", if quick { "true" } else { "false" });
     bench.num("horizon_secs", opts.horizon.as_secs_f64());

@@ -120,6 +120,10 @@ pub struct Simulator {
     requests_denied: u64,
     retry_tick_armed: bool,
     label: String,
+    /// Reused buffer for released/touched files at commit and abort.
+    released_buf: Vec<FileId>,
+    /// Reused buffer for eligible pending-request sequence numbers.
+    eligible_buf: Vec<u64>,
     /// Lifecycle tracer. Lives on the simulator, **not** on `SimConfig`:
     /// the report must stay a pure function of the configuration
     /// (`cache_key` hashes the config), and tracing must never perturb
@@ -178,6 +182,8 @@ impl Simulator {
             requests_denied: 0,
             retry_tick_armed: false,
             label: cfg.scheduler.label(),
+            released_buf: Vec::new(),
+            eligible_buf: Vec::new(),
             tracer: Tracer::Off,
             cfg: cfg.clone(),
         }
@@ -744,7 +750,9 @@ impl Simulator {
             kind: EventKind::Certify { txn: id, ok: valid },
         });
         if valid {
-            let released = self.scheduler.commit(id);
+            let mut touched = std::mem::take(&mut self.released_buf);
+            touched.clear();
+            self.scheduler.commit_into(id, &mut touched);
             let txn = self.txns.remove(&id).expect("commit of unknown txn");
             self.live.add(now, -1.0);
             self.completed += 1;
@@ -758,11 +766,11 @@ impl Simulator {
             // Files the committed transaction touched (declared), even
             // if the scheduler held no lock on them (OPT): their
             // contention state changed.
-            let mut touched: Vec<FileId> = released;
-            touched.extend(txn.spec.lock_set().into_iter().map(|(f, _)| f));
+            touched.extend(txn.spec.steps.iter().map(|s| s.file));
             touched.sort_unstable();
             touched.dedup();
             self.wake_waiters(&touched);
+            self.released_buf = touched;
             self.sweep_retries();
             self.try_admissions();
         } else {
@@ -781,7 +789,9 @@ impl Simulator {
             at: now,
             kind: EventKind::Abort { txn: id },
         });
-        let released = self.scheduler.abort(id);
+        let mut released = std::mem::take(&mut self.released_buf);
+        released.clear();
+        self.scheduler.abort_into(id, &mut released);
         self.live.add(now, -1.0);
         let txn = self.txns.get_mut(&id).expect("abort of unknown txn");
         txn.step = 0;
@@ -789,6 +799,7 @@ impl Simulator {
         self.events
             .schedule_after(self.cfg.restart_delay, Event::Restart { id });
         self.wake_waiters(&released);
+        self.released_buf = released;
     }
 
     // ----- retries -----------------------------------------------------
@@ -810,13 +821,15 @@ impl Simulator {
     }
 
     fn sweep_retries(&mut self) {
-        let eligible: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.eligible)
-            .map(|(&s, _)| s)
-            .collect();
-        for seq in eligible {
+        let mut eligible = std::mem::take(&mut self.eligible_buf);
+        eligible.clear();
+        eligible.extend(
+            self.pending
+                .iter()
+                .filter(|(_, p)| p.eligible)
+                .map(|(&s, _)| s),
+        );
+        for &seq in &eligible {
             let (id, step) = match self.pending.get_mut(&seq) {
                 Some(p) => {
                     p.eligible = false;
@@ -826,6 +839,7 @@ impl Simulator {
             };
             self.submit_request(id, step, Some(seq));
         }
+        self.eligible_buf = eligible;
     }
 
     fn arm_retry_tick(&mut self) {

@@ -86,17 +86,29 @@ impl Scheduler for Asl {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.commit_into(id, &mut out);
+        out
+    }
+
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.abort_into(id, &mut out);
+        out
+    }
+
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.live.remove(&id);
         self.specs.remove(&id);
         for log in self.grant_log.values_mut() {
             log.retain(|&t| t != id);
         }
-        self.table.release_all(id)
+        self.table.release_all_into(id, released);
     }
 
-    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.live.remove(&id);
-        self.table.release_all(id)
+        self.table.release_all_into(id, released);
     }
 
     fn live_count(&self) -> usize {

@@ -16,7 +16,7 @@ use crate::wtpg_core::WtpgCore;
 use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
 use bds_des::time::Duration;
 use bds_workload::{BatchSpec, FileId};
-use bds_wtpg::TxnId;
+use bds_wtpg::{paths, TxnId};
 
 /// The C2PL scheduler. (C2PL+M is this scheduler under a finite
 /// multiprogramming level imposed by the simulator.)
@@ -25,53 +25,40 @@ pub struct C2pl {
     core: WtpgCore,
     table: LockTable,
     dd_time: Duration,
+    /// Reused traversal state for the deadlock-prediction search.
+    ps: paths::Scratch,
+    /// Scratch: implied orientations of the current request.
+    orient_buf: Vec<(TxnId, TxnId)>,
 }
 
 impl C2pl {
     /// Create with the deadlock-detection CPU cost (`ddtime`, 1 ms).
     pub fn new(dd_time: Duration) -> Self {
         C2pl {
-            core: WtpgCore::new(),
-            table: LockTable::new(),
             dd_time,
+            ..C2pl::default()
         }
     }
 
     /// Would applying these orientations close a precedence cycle?
-    fn creates_cycle(&self, orientations: &[(TxnId, TxnId)]) -> bool {
-        if self.core.any_inconsistent(orientations) {
+    fn creates_cycle(
+        ps: &mut paths::Scratch,
+        core: &WtpgCore,
+        orientations: &[(TxnId, TxnId)],
+    ) -> bool {
+        if core.any_inconsistent(orientations) {
             return true;
         }
         // A cycle appears iff `to ⇝ from` already holds for some new
         // edge `from → to`. All added edges leave the same `from`, so
-        // they cannot chain with each other: one multi-source DFS from
-        // the `to` set searching `from` suffices.
+        // they cannot chain with each other: one multi-source search
+        // from the `to` set looking for `from` suffices.
         let from = match orientations.first() {
             Some(&(f, _)) => f,
             None => return false,
         };
         debug_assert!(orientations.iter().all(|&(f, _)| f == from));
-        let mut stack: Vec<TxnId> = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for &(_, to) in orientations {
-            if to == from {
-                return true;
-            }
-            if seen.insert(to) {
-                stack.push(to);
-            }
-        }
-        while let Some(v) = stack.pop() {
-            for s in self.core.graph.succ_ids(v) {
-                if s == from {
-                    return true;
-                }
-                if seen.insert(s) {
-                    stack.push(s);
-                }
-            }
-        }
-        false
+        ps.reachable_from_any(&core.graph, orientations.iter().map(|&(_, to)| to), from)
     }
 }
 
@@ -96,14 +83,15 @@ impl Scheduler for C2pl {
             return Outcome::costed(ReqDecision::Blocked, self.dd_time).because("lock-held");
         }
         // Phase 2: deadlock prediction over declared accesses.
-        let orientations = self.core.implied_orientations(id, s.file, s.mode);
-        if self.creates_cycle(&orientations) {
+        self.core
+            .implied_orientations_into(id, s.file, s.mode, &mut self.orient_buf);
+        if Self::creates_cycle(&mut self.ps, &self.core, &self.orient_buf) {
             return Outcome::costed(ReqDecision::Delayed, self.dd_time)
                 .because("predicted-deadlock");
         }
         // Grant.
         self.table.grant(id, s.file, s.mode);
-        self.core.apply_orientations(&orientations);
+        self.core.apply_orientations(&self.orient_buf);
         Outcome::costed(ReqDecision::Granted, self.dd_time)
     }
 
@@ -118,13 +106,25 @@ impl Scheduler for C2pl {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
-        self.core.remove(id);
-        self.table.release_all(id)
+        let mut out = Vec::new();
+        self.commit_into(id, &mut out);
+        out
     }
 
     fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.abort_into(id, &mut out);
+        out
+    }
+
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.core.remove(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.core.remove_live_only(id);
-        self.table.release_all(id)
+        self.table.release_all_into(id, released);
     }
 
     fn live_count(&self) -> usize {

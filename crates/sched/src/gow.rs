@@ -31,6 +31,13 @@ pub struct Gow {
     top_time: Duration,
     /// Admission refusals due to the chain-form constraint (statistic).
     chain_refusals: u64,
+    /// Incremental chain critical-path engine: only chains touched since
+    /// the previous decision re-run the Pareto DP.
+    engine: chain::ChainEngine,
+    /// Scratch: conflict set collected during the chain-form test.
+    conflicts_buf: Vec<TxnId>,
+    /// Scratch: implied orientations of the current request.
+    orient_buf: Vec<(TxnId, TxnId)>,
 }
 
 impl Gow {
@@ -38,11 +45,9 @@ impl Gow {
     /// optimization and `toptime` (5 ms) for the chain-form test.
     pub fn new(chain_time: Duration, top_time: Duration) -> Self {
         Gow {
-            core: WtpgCore::new(),
-            table: LockTable::new(),
             chain_time,
             top_time,
-            chain_refusals: 0,
+            ..Gow::default()
         }
     }
 
@@ -63,16 +68,19 @@ impl Scheduler for Gow {
 
     fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
         // Phase 0: chain-form test against the would-be conflict set.
-        let conflicts: Vec<TxnId> = {
-            let spec = self.core.spec(id);
-            self.core
-                .graph
-                .txns()
-                .filter(|&other| other != id)
-                .filter(|&other| bds_workload::conflict::conflicts(spec, self.core.spec(other)))
-                .collect()
-        };
-        if !chain::accepts_new_txn(&self.core.graph, &conflicts) {
+        let conflicts = &mut self.conflicts_buf;
+        conflicts.clear();
+        {
+            let core = &self.core;
+            let spec = core.spec(id);
+            conflicts.extend(
+                core.graph
+                    .txns()
+                    .filter(|&other| other != id)
+                    .filter(|&other| bds_workload::conflict::conflicts(spec, core.spec(other))),
+            );
+        }
+        if !chain::accepts_new_txn(&self.core.graph, conflicts) {
             self.chain_refusals += 1;
             return Outcome::costed(StartDecision::Refuse, self.top_time).because("chain-form");
         }
@@ -87,25 +95,24 @@ impl Scheduler for Gow {
         if !self.table.can_grant(id, s.file, s.mode) {
             return Outcome::free(ReqDecision::Blocked).because("lock-held");
         }
-        let orientations = self.core.implied_orientations(id, s.file, s.mode);
+        self.core
+            .implied_orientations_into(id, s.file, s.mode, &mut self.orient_buf);
         // Decided-adverse pairs make the grant non-serializable outright.
-        let declarers = self.core.conflicting_declarers(id, s.file, s.mode);
-        let adverse = declarers
-            .iter()
-            .any(|&other| self.core.graph.is_decided(other, id));
-        if orientations.is_empty() && !adverse {
+        let adverse = self.core.has_adverse_declarer(id, s.file, s.mode);
+        if self.orient_buf.is_empty() && !adverse {
             // Nothing to decide: grant without running the optimizer.
             self.table.grant(id, s.file, s.mode);
             return Outcome::free(ReqDecision::Granted);
         }
         // Phase 2: the globally optimal order's critical path…
-        let optimal = chain::min_critical(&self.core.graph, &[]);
+        let optimal = self.engine.min_critical(&mut self.core.graph, &[]);
         // Phase 3: …must still be achievable with the grant's
         // orientations forced.
         let forced = if adverse {
             f64::INFINITY
         } else {
-            chain::min_critical(&self.core.graph, &orientations)
+            self.engine
+                .min_critical(&mut self.core.graph, &self.orient_buf)
         };
         if forced > optimal + 1e-9 {
             let reason = if adverse {
@@ -117,7 +124,7 @@ impl Scheduler for Gow {
         }
         // Phase 4: grant and enforce the decided edges.
         self.table.grant(id, s.file, s.mode);
-        self.core.apply_orientations(&orientations);
+        self.core.apply_orientations(&self.orient_buf);
         Outcome::costed(ReqDecision::Granted, self.chain_time)
     }
 
@@ -130,13 +137,25 @@ impl Scheduler for Gow {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
-        self.core.remove(id);
-        self.table.release_all(id)
+        let mut out = Vec::new();
+        self.commit_into(id, &mut out);
+        out
     }
 
     fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.abort_into(id, &mut out);
+        out
+    }
+
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.core.remove(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.core.remove_live_only(id);
-        self.table.release_all(id)
+        self.table.release_all_into(id, released);
     }
 
     fn live_count(&self) -> usize {

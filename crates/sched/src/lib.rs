@@ -146,6 +146,20 @@ pub trait Scheduler: Send {
     /// the transaction can `try_start` again. Returns released files.
     fn abort(&mut self, id: TxnId) -> Vec<FileId>;
 
+    /// Scratch-buffer variant of [`Scheduler::commit`]: append the
+    /// released files to `released` (the caller owns and clears the
+    /// buffer). The default delegates to `commit`; lock-table schedulers
+    /// override it to release without allocating.
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        released.extend(self.commit(id));
+    }
+
+    /// Scratch-buffer variant of [`Scheduler::abort`]; see
+    /// [`Scheduler::commit_into`].
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        released.extend(self.abort(id));
+    }
+
     /// Number of live (started, uncommitted) transactions.
     fn live_count(&self) -> usize;
 

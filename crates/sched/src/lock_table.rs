@@ -6,16 +6,31 @@
 //!
 //! The table implements *state*, not *policy*: whether a conflicting
 //! request blocks, is delayed, or aborts is each scheduler's decision.
+//!
+//! Storage is dense: one holder row per `FileId`, indexed by the id's
+//! integer value, plus a per-transaction holdings list. Rows persist
+//! (empty) across grant/release cycles and retired per-transaction lists
+//! are recycled, so the steady-state grant/release hot path performs no
+//! allocation. Schedulers that only *read* conflict state borrow it via
+//! [`LockTable::holders`] / [`LockTable::conflicting_holders_iter`]
+//! instead of collecting.
 
 use bds_workload::{FileId, LockMode};
 use bds_wtpg::TxnId;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// The lock table.
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    holders: BTreeMap<FileId, BTreeMap<TxnId, LockMode>>,
-    by_txn: BTreeMap<TxnId, BTreeSet<FileId>>,
+    /// `files[f]` = current holders of `FileId(f)`, sorted by txn id.
+    files: Vec<Vec<(TxnId, LockMode)>>,
+    /// Per-transaction holdings, sorted by txn id; inner lists sorted by
+    /// file id (matching the ascending release order of the original
+    /// `BTreeSet`-backed table).
+    by_txn: Vec<(TxnId, Vec<FileId>)>,
+    /// Retired holdings lists, recycled on a transaction's first grant.
+    spare: Vec<Vec<FileId>>,
+    /// Total (txn, file) entries, maintained incrementally.
+    total: usize,
 }
 
 impl LockTable {
@@ -24,9 +39,16 @@ impl LockTable {
         LockTable::default()
     }
 
+    fn row(&self, file: FileId) -> &[(TxnId, LockMode)] {
+        self.files.get(file.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
     /// The mode `txn` currently holds on `file`, if any.
     pub fn mode_held(&self, txn: TxnId, file: FileId) -> Option<LockMode> {
-        self.holders.get(&file).and_then(|h| h.get(&txn)).copied()
+        let row = self.row(file);
+        row.binary_search_by_key(&txn, |&(t, _)| t)
+            .ok()
+            .map(|i| row[i].1)
     }
 
     /// Does `txn` hold a lock on `file` covering `mode`?
@@ -38,10 +60,9 @@ impl LockTable {
     /// *other* holder is compatible (so an S→X upgrade succeeds iff the
     /// requester is the only holder).
     pub fn can_grant(&self, txn: TxnId, file: FileId, mode: LockMode) -> bool {
-        match self.holders.get(&file) {
-            None => true,
-            Some(h) => h.iter().all(|(&t, &m)| t == txn || m.compatible(mode)),
-        }
+        self.row(file)
+            .iter()
+            .all(|&(t, m)| t == txn || m.compatible(mode))
     }
 
     /// Grant `mode` on `file` to `txn` (upgrading if it already holds a
@@ -55,61 +76,102 @@ impl LockTable {
             self.can_grant(txn, file, mode),
             "incompatible grant: {txn:?} wants {mode:?} on {file:?}"
         );
-        let h = self.holders.entry(file).or_default();
-        let entry = h.entry(txn).or_insert(mode);
-        *entry = entry.max(mode);
-        self.by_txn.entry(txn).or_default().insert(file);
+        let idx = file.0 as usize;
+        if idx >= self.files.len() {
+            self.files.resize_with(idx + 1, Vec::new);
+        }
+        let row = &mut self.files[idx];
+        match row.binary_search_by_key(&txn, |&(t, _)| t) {
+            Ok(i) => {
+                let held = &mut row[i].1;
+                *held = (*held).max(mode);
+            }
+            Err(i) => {
+                row.insert(i, (txn, mode));
+                self.total += 1;
+                match self.by_txn.binary_search_by_key(&txn, |&(t, _)| t) {
+                    Ok(j) => {
+                        let held = &mut self.by_txn[j].1;
+                        if let Err(k) = held.binary_search(&file) {
+                            held.insert(k, file);
+                        }
+                    }
+                    Err(j) => {
+                        let mut held = self.spare.pop().unwrap_or_default();
+                        held.push(file);
+                        self.by_txn.insert(j, (txn, held));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release every lock `txn` holds, appending the affected files to
+    /// `out` in ascending file order. The caller owns (and clears) the
+    /// buffer; nothing is appended when `txn` holds no locks.
+    pub fn release_all_into(&mut self, txn: TxnId, out: &mut Vec<FileId>) {
+        let Ok(j) = self.by_txn.binary_search_by_key(&txn, |&(t, _)| t) else {
+            return;
+        };
+        let (_, mut held) = self.by_txn.remove(j);
+        for &file in &held {
+            let row = &mut self.files[file.0 as usize];
+            if let Ok(i) = row.binary_search_by_key(&txn, |&(t, _)| t) {
+                row.remove(i);
+                self.total -= 1;
+            }
+            out.push(file);
+        }
+        held.clear();
+        self.spare.push(held);
     }
 
     /// Release every lock `txn` holds; returns the affected files.
+    /// Allocating convenience over [`LockTable::release_all_into`].
     pub fn release_all(&mut self, txn: TxnId) -> Vec<FileId> {
-        let files = self.by_txn.remove(&txn).unwrap_or_default();
-        let mut released = Vec::with_capacity(files.len());
-        for file in files {
-            if let Some(h) = self.holders.get_mut(&file) {
-                h.remove(&txn);
-                if h.is_empty() {
-                    self.holders.remove(&file);
-                }
-            }
-            released.push(file);
-        }
-        released
+        let mut out = Vec::new();
+        self.release_all_into(txn, &mut out);
+        out
     }
 
-    /// Current holders of `file` with their modes, in id order.
-    pub fn holders(&self, file: FileId) -> Vec<(TxnId, LockMode)> {
-        self.holders
-            .get(&file)
-            .map(|h| h.iter().map(|(&t, &m)| (t, m)).collect())
-            .unwrap_or_default()
+    /// Current holders of `file` with their modes, in id order (borrowed
+    /// — no allocation).
+    pub fn holders(&self, file: FileId) -> &[(TxnId, LockMode)] {
+        self.row(file)
     }
 
     /// Holders of `file` whose mode conflicts with `mode`, excluding
-    /// `txn` itself.
-    pub fn conflicting_holders(&self, txn: TxnId, file: FileId, mode: LockMode) -> Vec<TxnId> {
-        self.holders
-            .get(&file)
-            .map(|h| {
-                h.iter()
-                    .filter(|(&t, &m)| t != txn && !m.compatible(mode))
-                    .map(|(&t, _)| t)
-                    .collect()
-            })
-            .unwrap_or_default()
+    /// `txn` itself, in id order — borrowed iterator, no allocation.
+    pub fn conflicting_holders_iter(
+        &self,
+        txn: TxnId,
+        file: FileId,
+        mode: LockMode,
+    ) -> impl Iterator<Item = TxnId> + '_ {
+        self.row(file)
+            .iter()
+            .filter(move |&&(t, m)| t != txn && !m.compatible(mode))
+            .map(|&(t, _)| t)
     }
 
-    /// Files held by `txn`.
-    pub fn files_of(&self, txn: TxnId) -> Vec<FileId> {
-        self.by_txn
-            .get(&txn)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+    /// Holders of `file` whose mode conflicts with `mode`, excluding
+    /// `txn` itself. Allocating convenience over
+    /// [`LockTable::conflicting_holders_iter`].
+    pub fn conflicting_holders(&self, txn: TxnId, file: FileId, mode: LockMode) -> Vec<TxnId> {
+        self.conflicting_holders_iter(txn, file, mode).collect()
+    }
+
+    /// Files held by `txn`, in ascending file order (borrowed).
+    pub fn files_of(&self, txn: TxnId) -> &[FileId] {
+        match self.by_txn.binary_search_by_key(&txn, |&(t, _)| t) {
+            Ok(j) => &self.by_txn[j].1,
+            Err(_) => &[],
+        }
     }
 
     /// Total number of (txn, file) lock entries.
     pub fn total_locks(&self) -> usize {
-        self.holders.values().map(|h| h.len()).sum()
+        self.total
     }
 }
 
@@ -208,5 +270,45 @@ mod tests {
         lt.grant(t(1), f(7), Exclusive);
         assert_eq!(lt.files_of(t(1)), vec![f(2), f(7)]);
         assert!(lt.files_of(t(2)).is_empty());
+    }
+
+    #[test]
+    fn release_all_into_appends_in_file_order() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(9), Exclusive);
+        lt.grant(t(1), f(2), Shared);
+        lt.grant(t(1), f(5), Shared);
+        let mut out = Vec::new();
+        lt.release_all_into(t(1), &mut out);
+        assert_eq!(out, vec![f(2), f(5), f(9)]);
+        // Appends (does not clear): a second txn's release accumulates.
+        lt.grant(t(2), f(0), Exclusive);
+        lt.release_all_into(t(2), &mut out);
+        assert_eq!(out, vec![f(2), f(5), f(9), f(0)]);
+        assert_eq!(lt.total_locks(), 0);
+    }
+
+    #[test]
+    fn rows_are_reused_after_release() {
+        let mut lt = LockTable::new();
+        for round in 0..3u64 {
+            let id = t(round + 1);
+            lt.grant(id, f(4), Exclusive);
+            assert_eq!(lt.holders(f(4)), &[(id, Exclusive)]);
+            assert_eq!(lt.release_all(id), vec![f(4)]);
+        }
+        assert!(lt.holders(f(4)).is_empty());
+        assert_eq!(lt.total_locks(), 0);
+    }
+
+    #[test]
+    fn conflicting_holders_iter_matches_vec() {
+        let mut lt = LockTable::new();
+        lt.grant(t(1), f(0), Shared);
+        lt.grant(t(3), f(0), Shared);
+        lt.grant(t(5), f(0), Shared);
+        let from_iter: Vec<TxnId> = lt.conflicting_holders_iter(t(3), f(0), Exclusive).collect();
+        assert_eq!(from_iter, lt.conflicting_holders(t(3), f(0), Exclusive));
+        assert_eq!(from_iter, vec![t(1), t(5)]);
     }
 }

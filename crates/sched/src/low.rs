@@ -26,6 +26,14 @@ pub struct Low {
     k: u32,
     kwtpg_time: Duration,
     k_refusals: u64,
+    /// Reused trial graph + traversal marks for `E(·)` evaluations.
+    scratch: eq::EqScratch,
+    /// Reused traversal state for post-grant propagation.
+    ps: paths::Scratch,
+    /// Scratch: orientations implied by granting the request `q`.
+    orient_q: Vec<(TxnId, TxnId)>,
+    /// Scratch: orientations implied by granting a competitor `p`.
+    orient_p: Vec<(TxnId, TxnId)>,
 }
 
 impl Low {
@@ -33,11 +41,9 @@ impl Low {
     /// (10 ms) per `E(·)` evaluation.
     pub fn new(k: u32, kwtpg_time: Duration) -> Self {
         Low {
-            core: WtpgCore::new(),
-            table: LockTable::new(),
             k,
             kwtpg_time,
-            k_refusals: 0,
+            ..Low::default()
         }
     }
 
@@ -63,7 +69,7 @@ impl Low {
                         // conflicting partner; its own count must stay
                         // within K too.
                         let other_count =
-                            self.core.conflicting_declarers(other, file, m).len() as u32 + 1;
+                            self.core.conflicting_declarer_count(other, file, m) as u32 + 1;
                         if other_count > self.k {
                             return true;
                         }
@@ -77,15 +83,21 @@ impl Low {
         false
     }
 
-    /// The orientations implied by granting a lock of `mode` on `file`
-    /// to `who` (toward every conflicting declarer, decided or not —
-    /// `eval_grant` maps decided-adverse pairs to ∞).
-    fn grant_orientations(&self, who: TxnId, file: FileId, mode: LockMode) -> Vec<(TxnId, TxnId)> {
-        self.core
-            .conflicting_declarers(who, file, mode)
-            .into_iter()
-            .map(|other| (who, other))
-            .collect()
+    /// Fill `out` with the orientations implied by granting a lock of
+    /// `mode` on `file` to `who` (toward every conflicting declarer,
+    /// decided or not — `eval_grant` maps decided-adverse pairs to ∞).
+    fn fill_grant_orientations(
+        core: &WtpgCore,
+        who: TxnId,
+        file: FileId,
+        mode: LockMode,
+        out: &mut Vec<(TxnId, TxnId)>,
+    ) {
+        out.clear();
+        out.extend(
+            core.conflicting_declarers_iter(who, file, mode)
+                .map(|other| (who, other)),
+        );
     }
 }
 
@@ -113,23 +125,25 @@ impl Scheduler for Low {
         if !self.table.can_grant(id, s.file, s.mode) {
             return Outcome::free(ReqDecision::Blocked).because("lock-held");
         }
-        let declarers = self.core.conflicting_declarers(id, s.file, s.mode);
-        if declarers.is_empty() {
+        if self.core.conflicting_declarer_count(id, s.file, s.mode) == 0 {
             // No contention on this file at all: grant for free.
             self.table.grant(id, s.file, s.mode);
             return Outcome::free(ReqDecision::Granted);
         }
         // Phase 2: E(q).
         let mut cpu = self.kwtpg_time;
-        let orientations_q = self.grant_orientations(id, s.file, s.mode);
-        let e_q = eq::eval_grant(&self.core.graph, &orientations_q);
+        Self::fill_grant_orientations(&self.core, id, s.file, s.mode, &mut self.orient_q);
+        let e_q = eq::eval_grant_with(&mut self.scratch, &self.core.graph, &self.orient_q);
         if e_q.is_infinite() {
             // Granting q would deadlock (or contradict a decided order).
             return Outcome::costed(ReqDecision::Delayed, cpu).because("deadlock-risk");
         }
         // Phase 3: E(p) for each conflicting declaration p on the file,
-        // capped at K competitors (deterministically: smallest ids).
-        for &other in declarers.iter().take(self.k as usize) {
+        // capped at K competitors (deterministically: the first K in
+        // declaration order — they are the requester's own orientation
+        // targets, `(id, other)` pairs of `orient_q`).
+        for i in 0..self.orient_q.len().min(self.k as usize) {
+            let (_, other) = self.orient_q[i];
             // Skip declarations whose order against `id` is already
             // decided `id → other` — they can no longer win the lock
             // first.
@@ -141,8 +155,14 @@ impl Scheduler for Low {
                 .spec(other)
                 .mode_on(s.file)
                 .expect("declarer must declare the file");
-            let orientations_p = self.grant_orientations(other, s.file, other_mode);
-            let e_p = eq::eval_grant(&self.core.graph, &orientations_p);
+            Self::fill_grant_orientations(
+                &self.core,
+                other,
+                s.file,
+                other_mode,
+                &mut self.orient_p,
+            );
+            let e_p = eq::eval_grant_with(&mut self.scratch, &self.core.graph, &self.orient_p);
             cpu += self.kwtpg_time;
             if e_q > e_p + 1e-9 {
                 return Outcome::costed(ReqDecision::Delayed, cpu).because("E(q)>E(p)");
@@ -150,12 +170,15 @@ impl Scheduler for Low {
         }
         // Phase 4: grant, orient, propagate forced pairs (Fig. 6).
         self.table.grant(id, s.file, s.mode);
-        let undecided: Vec<(TxnId, TxnId)> = orientations_q
-            .into_iter()
-            .filter(|&(from, to)| !self.core.graph.is_decided(from, to))
-            .collect();
-        self.core.apply_orientations(&undecided);
-        paths::propagate(&mut self.core.graph)
+        {
+            // Keep only the still-undecided orientations, in order.
+            let graph = &self.core.graph;
+            self.orient_q
+                .retain(|&(from, to)| !graph.is_decided(from, to));
+        }
+        self.core.apply_orientations(&self.orient_q);
+        self.ps
+            .propagate(&mut self.core.graph)
             .expect("E(q) was finite, propagation cannot contradict");
         Outcome::costed(ReqDecision::Granted, cpu)
     }
@@ -169,13 +192,25 @@ impl Scheduler for Low {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
-        self.core.remove(id);
-        self.table.release_all(id)
+        let mut out = Vec::new();
+        self.commit_into(id, &mut out);
+        out
     }
 
     fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.abort_into(id, &mut out);
+        out
+    }
+
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.core.remove(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.core.remove_live_only(id);
-        self.table.release_all(id)
+        self.table.release_all_into(id, released);
     }
 
     fn live_count(&self) -> usize {

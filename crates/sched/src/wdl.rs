@@ -74,8 +74,10 @@ impl Scheduler for Wdl {
             self.waiting.remove(&id);
             return Outcome::costed(ReqDecision::Granted, self.check_time);
         }
-        let holders = self.table.conflicting_holders(id, s.file, s.mode);
-        let any_holder_waiting = holders.iter().any(|h| self.waiting.contains(h));
+        let any_holder_waiting = self
+            .table
+            .conflicting_holders_iter(id, s.file, s.mode)
+            .any(|h| self.waiting.contains(&h));
         if any_holder_waiting {
             // Waiting here would create a chain of depth ≥ 2: restart.
             self.restarts += 1;
@@ -94,16 +96,28 @@ impl Scheduler for Wdl {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
-        self.live.remove(&id);
-        self.waiting.remove(&id);
-        self.specs.remove(&id);
-        self.table.release_all(id)
+        let mut out = Vec::new();
+        self.commit_into(id, &mut out);
+        out
     }
 
     fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.abort_into(id, &mut out);
+        out
+    }
+
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.live.remove(&id);
         self.waiting.remove(&id);
-        self.table.release_all(id)
+        self.specs.remove(&id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.live.remove(&id);
+        self.waiting.remove(&id);
+        self.table.release_all_into(id, released);
     }
 
     fn live_count(&self) -> usize {

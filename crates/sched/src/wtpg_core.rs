@@ -15,7 +15,10 @@ pub struct WtpgCore {
     specs: BTreeMap<TxnId, BatchSpec>,
     /// Per-file index of *live* transactions declaring the file, with
     /// their strongest declared mode (hot path for conflict lookups).
-    by_file: BTreeMap<FileId, Vec<(TxnId, LockMode)>>,
+    /// Dense — row `f` lists the declarers of `FileId(f)` in admission
+    /// (push) order, which downstream decisions observe; rows persist
+    /// empty so steady-state admission/removal does not allocate.
+    by_file: Vec<Vec<(TxnId, LockMode)>>,
     /// Precedence constraints recorded for serializability auditing.
     constraints: Vec<(TxnId, TxnId)>,
 }
@@ -48,15 +51,42 @@ impl WtpgCore {
     }
 
     /// The live transactions that declared an access to `file`
-    /// conflicting with `mode`, other than `id`, in ascending id order.
-    pub fn conflicting_declarers(&self, id: TxnId, file: FileId, mode: LockMode) -> Vec<TxnId> {
+    /// conflicting with `mode`, other than `id`, in admission order —
+    /// borrowed iterator, no allocation.
+    pub fn conflicting_declarers_iter(
+        &self,
+        id: TxnId,
+        file: FileId,
+        mode: LockMode,
+    ) -> impl Iterator<Item = TxnId> + '_ {
         self.by_file
-            .get(&file)
-            .into_iter()
-            .flatten()
-            .filter(|&&(other, m)| other != id && !m.compatible(mode))
+            .get(file.0 as usize)
+            .map_or(&[][..], Vec::as_slice)
+            .iter()
+            .filter(move |&&(other, m)| other != id && !m.compatible(mode))
             .map(|&(other, _)| other)
-            .collect()
+    }
+
+    /// The live transactions that declared an access to `file`
+    /// conflicting with `mode`, other than `id`, in admission order.
+    /// Allocating convenience over
+    /// [`WtpgCore::conflicting_declarers_iter`].
+    pub fn conflicting_declarers(&self, id: TxnId, file: FileId, mode: LockMode) -> Vec<TxnId> {
+        self.conflicting_declarers_iter(id, file, mode).collect()
+    }
+
+    /// How many live declarations on `file` conflict with `mode`
+    /// (excluding `id`'s own) — counting variant, no allocation.
+    pub fn conflicting_declarer_count(&self, id: TxnId, file: FileId, mode: LockMode) -> usize {
+        self.conflicting_declarers_iter(id, file, mode).count()
+    }
+
+    /// Does any conflicting declarer of `file` already precede `id` in
+    /// the decided order (which makes granting `id` the lock
+    /// non-serializable outright)?
+    pub fn has_adverse_declarer(&self, id: TxnId, file: FileId, mode: LockMode) -> bool {
+        self.conflicting_declarers_iter(id, file, mode)
+            .any(|other| self.graph.is_decided(other, id))
     }
 
     /// The live transactions whose declarations conflict with `id`'s
@@ -66,7 +96,7 @@ impl WtpgCore {
         let mut out: Vec<TxnId> = spec
             .lock_set()
             .into_iter()
-            .flat_map(|(file, mode)| self.conflicting_declarers(id, file, mode))
+            .flat_map(|(file, mode)| self.conflicting_declarers_iter(id, file, mode))
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -83,7 +113,11 @@ impl WtpgCore {
         self.graph.add_txn(id, spec.total_declared());
         let others: Vec<TxnId> = self.conflicting_live(id);
         for (file, mode) in spec.lock_set() {
-            self.by_file.entry(file).or_default().push((id, mode));
+            let idx = file.0 as usize;
+            if idx >= self.by_file.len() {
+                self.by_file.resize_with(idx + 1, Vec::new);
+            }
+            self.by_file[idx].push((id, mode));
         }
         for other in others {
             let ospec = &self.specs[&other];
@@ -120,8 +154,9 @@ impl WtpgCore {
     pub fn remove_live_only(&mut self, id: TxnId) {
         if self.graph.contains(id) {
             self.graph.remove_txn(id);
-            for (file, _) in self.specs[&id].lock_set() {
-                if let Some(v) = self.by_file.get_mut(&file) {
+            let spec = &self.specs[&id];
+            for s in &spec.steps {
+                if let Some(v) = self.by_file.get_mut(s.file.0 as usize) {
                     v.retain(|&(t, _)| t != id);
                 }
             }
@@ -153,11 +188,26 @@ impl WtpgCore {
         file: FileId,
         mode: LockMode,
     ) -> Vec<(TxnId, TxnId)> {
-        self.conflicting_declarers(id, file, mode)
-            .into_iter()
-            .filter(|&other| !self.graph.is_decided(id, other))
-            .map(|other| (id, other))
-            .collect()
+        let mut out = Vec::new();
+        self.implied_orientations_into(id, file, mode, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`WtpgCore::implied_orientations`]:
+    /// clears `out` and fills it with the implied orientations.
+    pub fn implied_orientations_into(
+        &self,
+        id: TxnId,
+        file: FileId,
+        mode: LockMode,
+        out: &mut Vec<(TxnId, TxnId)>,
+    ) {
+        out.clear();
+        out.extend(
+            self.conflicting_declarers_iter(id, file, mode)
+                .filter(|&other| !self.graph.is_decided(id, other))
+                .map(|other| (id, other)),
+        );
     }
 
     /// Record and apply a decided precedence, skipping already-decided
@@ -319,5 +369,29 @@ mod tests {
             core.conflicting_declarers(t(3), f(0), LockMode::Exclusive),
             vec![t(1), t(2)]
         );
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_api() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        for i in 1..=3 {
+            core.register(t(i), BatchSpec::new(vec![xw(f(0), 1.0)]));
+            core.add_live(t(i), &table);
+        }
+        core.set_precedence(t(1), t(2));
+        assert_eq!(
+            core.conflicting_declarer_count(t(1), f(0), LockMode::Exclusive),
+            2
+        );
+        let mut buf = vec![(t(9), t(9))]; // stale content must be cleared
+        core.implied_orientations_into(t(1), f(0), LockMode::Exclusive, &mut buf);
+        assert_eq!(
+            buf,
+            core.implied_orientations(t(1), f(0), LockMode::Exclusive)
+        );
+        assert_eq!(buf, vec![(t(1), t(3))]);
+        assert!(!core.has_adverse_declarer(t(1), f(0), LockMode::Exclusive));
+        assert!(core.has_adverse_declarer(t(2), f(0), LockMode::Exclusive));
     }
 }

@@ -15,6 +15,24 @@
 use crate::graph::{TxnId, Wtpg};
 use crate::paths;
 
+/// Reusable state for [`eval_grant_with`]: the trial graph copy and the
+/// path-algorithm scratch. A scheduler keeps one of these across every
+/// `E(q)`/`E(p)` evaluation so the hot path stops allocating — the trial
+/// graph is refreshed with `clone_from` (arena buffers are reused) and
+/// the traversal marks are epoch-stamped.
+#[derive(Debug, Default)]
+pub struct EqScratch {
+    trial: Wtpg,
+    paths: paths::Scratch,
+}
+
+impl EqScratch {
+    /// Fresh scratch (allocates nothing until first use).
+    pub fn new() -> Self {
+        EqScratch::default()
+    }
+}
+
 /// Compute `E(q)` where granting `q` implies the precedence orientations
 /// in `orientations` (each `(from, to)` pair: `from` precedes `to`).
 ///
@@ -24,7 +42,22 @@ use crate::paths;
 /// direction are no-ops; an orientation against an already-decided edge
 /// means granting is impossible — `E(q) = ∞`.
 pub fn eval_grant(g: &Wtpg, orientations: &[(TxnId, TxnId)]) -> f64 {
-    let mut trial = g.clone();
+    eval_grant_with(&mut EqScratch::new(), g, orientations)
+}
+
+/// Allocation-reusing variant of [`eval_grant`]; identical result for
+/// any graph whose decided subgraph is acyclic (the invariant every
+/// scheduler maintains — LOW only ever grants when `E(q)` is finite).
+///
+/// Instead of applying all orientations and running a full cycle check
+/// at the end, each new orientation `from → to` first performs an
+/// incremental reachability probe `to ⇝ from` over the decided edges
+/// applied so far: a hit means this very edge would close the first
+/// cycle, so `E(q) = ∞` immediately — the check searches only from the
+/// new edge rather than re-scanning the whole graph.
+pub fn eval_grant_with(scratch: &mut EqScratch, g: &Wtpg, orientations: &[(TxnId, TxnId)]) -> f64 {
+    let EqScratch { trial, paths: ps } = scratch;
+    trial.clone_from(g);
     for &(from, to) in orientations {
         if !trial.contains(from) || !trial.contains(to) {
             continue;
@@ -38,16 +71,22 @@ pub fn eval_grant(g: &Wtpg, orientations: &[(TxnId, TxnId)]) -> f64 {
             continue;
         }
         if !trial.is_decided(from, to) {
+            if ps.reachable(trial, to, from) {
+                // `from → to` would close the first directed cycle.
+                return f64::INFINITY;
+            }
             trial.set_precedence(from, to);
         }
     }
-    if paths::propagate(&mut trial).is_err() {
+    if ps.propagate(trial).is_err() {
         return f64::INFINITY;
     }
-    if paths::has_cycle(&trial) {
-        return f64::INFINITY;
-    }
-    paths::critical_path(&trial)
+    // No *extra* cycle pass here (the original ran one before the
+    // critical path): the graph was acyclic before the trial, every
+    // applied orientation was probed against closing a cycle, and
+    // propagation only adds `a → b` when `b ⇝ a` is absent. The linear
+    // check inside `critical_path` remains as the safety net.
+    ps.critical_path(trial)
 }
 
 /// Convenience: the current contention level with no new grant (critical

@@ -1,11 +1,23 @@
 //! WTPG storage: nodes, conflict edges, precedence edges, weights.
 //!
-//! The graph is intentionally small — the paper's machine runs at most a
-//! few dozen concurrent batch transactions — so all structures are
-//! `BTreeMap`/`BTreeSet` based for deterministic iteration order (the
-//! simulator must be bit-for-bit reproducible).
+//! The graph is small — the paper's machine runs at most a few dozen
+//! concurrent batch transactions — but it sits on the scheduler hot
+//! path: every lock decision in GOW/LOW/C2PL walks it, and the parallel
+//! sweep executor multiplies that across thousands of simulation points.
+//! Storage is therefore a dense slot arena rather than the original
+//! `BTreeMap` design: a sorted `TxnId → u32` slot map with free-list
+//! reuse, and per-slot inline adjacency arrays ([`crate::smallvec`])
+//! that carry the pair edge on *both* endpoints so directed traversal
+//! never does a map lookup.
+//!
+//! Determinism contract: every iterator this module exposes yields
+//! exactly the order the `BTreeMap`-backed implementation did — `txns()`
+//! ascending by id, `neighbors()` ascending by id, `edges()` and
+//! `conflict_pairs()` ascending by `(lo, hi)` pair key — so the
+//! simulator stays bit-for-bit reproducible (pinned by the golden-hash
+//! test in `tests/parallel_determinism.rs`).
 
-use std::collections::{BTreeMap, BTreeSet};
+use crate::smallvec::SmallVec;
 use std::fmt;
 
 /// Identifier of a (general) transaction node in the WTPG.
@@ -49,9 +61,10 @@ impl Direction {
 }
 
 /// State of the edge between a conflicting transaction pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EdgeState {
     /// Undecided: both serialization orders are still possible.
+    #[default]
     Conflict,
     /// Decided: a precedence edge in the given direction.
     Precedence(Direction),
@@ -92,7 +105,7 @@ impl PairKey {
 }
 
 /// Weighted edge between a conflicting pair.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PairEdge {
     /// Weight of the `lo → hi` candidate direction (cost `hi` still pays
     /// from the first step at which `lo` can block it, through commit).
@@ -125,7 +138,7 @@ impl PairEdge {
 }
 
 /// Per-transaction node data.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Node {
     /// Weight of `T0 → Ti`: the transaction's *remaining* I/O demand
     /// before its commitment, in objects. This is the only weight that is
@@ -133,19 +146,162 @@ pub struct Node {
     pub t0_weight: f64,
 }
 
+/// One adjacency record: the neighbor plus a copy of the pair edge.
+///
+/// The edge is duplicated on both endpoints (and kept in sync by
+/// `declare_conflict`/`set_precedence`) so that directed traversal reads
+/// the state and weight inline without any pair lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct Adj {
+    /// Neighbor transaction id.
+    pub(crate) id: TxnId,
+    /// Neighbor's arena slot (valid while the neighbor is live).
+    pub(crate) slot: u32,
+    /// This pair's edge data.
+    pub(crate) edge: PairEdge,
+}
+
+impl Adj {
+    /// True if the pair is decided with `owner` preceding the neighbor.
+    pub(crate) fn owner_precedes(&self, owner: TxnId) -> bool {
+        match self.edge.state {
+            EdgeState::Conflict => false,
+            EdgeState::Precedence(Direction::LoToHi) => owner < self.id,
+            EdgeState::Precedence(Direction::HiToLo) => owner > self.id,
+        }
+    }
+
+    /// True if the pair is decided with the neighbor preceding `owner`.
+    pub(crate) fn neighbor_precedes(&self, owner: TxnId) -> bool {
+        match self.edge.state {
+            EdgeState::Conflict => false,
+            EdgeState::Precedence(Direction::LoToHi) => self.id < owner,
+            EdgeState::Precedence(Direction::HiToLo) => self.id > owner,
+        }
+    }
+
+    /// Weight of the directed edge `owner → neighbor`.
+    pub(crate) fn weight_from_owner(&self, owner: TxnId) -> f64 {
+        if owner < self.id {
+            self.edge.w_lo_hi
+        } else {
+            self.edge.w_hi_lo
+        }
+    }
+
+    /// Weight of the directed edge `neighbor → owner`.
+    pub(crate) fn weight_from_neighbor(&self, owner: TxnId) -> f64 {
+        if self.id < owner {
+            self.edge.w_lo_hi
+        } else {
+            self.edge.w_hi_lo
+        }
+    }
+}
+
+/// Arena slot: node data plus inline adjacency.
+#[derive(Debug, Default)]
+struct Slot {
+    id: TxnId,
+    node: Node,
+    adj: SmallVec<Adj, 4>,
+}
+
+impl Clone for Slot {
+    fn clone(&self) -> Self {
+        Slot {
+            id: self.id,
+            node: self.node,
+            adj: self.adj.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.id = source.id;
+        self.node = source.node;
+        self.adj.clone_from(&source.adj);
+    }
+}
+
+/// Structural-change event consumed by [`crate::chain::ChainEngine`] for
+/// incremental chain maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GraphEvent {
+    /// A new node appeared (as its own singleton chain).
+    Added(TxnId),
+    /// A node and all its edges were removed (splits its chain).
+    Removed(TxnId),
+    /// A brand-new pair edge joined two previously unlinked nodes.
+    Linked(TxnId, TxnId),
+    /// Weights or edge state changed without altering chain membership.
+    Touched(TxnId),
+}
+
+/// Past this many undrained events the log overflows: it is cleared and
+/// consumers fall back to a full rebuild. Bounds log growth for graphs
+/// that no engine is attached to (LOW/C2PL/NODC/OPT).
+const EVENT_CAP: usize = 256;
+
 /// The weighted transaction-precedence graph.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct Wtpg {
-    nodes: BTreeMap<TxnId, Node>,
-    edges: BTreeMap<PairKey, PairEdge>,
-    /// Adjacency: for each node, the set of pair-neighbors (conflict or
-    /// precedence — both count as "conflicting" for chain-form purposes).
-    adj: BTreeMap<TxnId, BTreeSet<TxnId>>,
-    /// Cached precedence successors/predecessors (subsets of `adj`),
-    /// maintained by `set_precedence`/`remove_txn` so that reachability
-    /// and cycle checks avoid per-edge map lookups.
-    succ: BTreeMap<TxnId, BTreeSet<TxnId>>,
-    pred: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// Sorted `(id, slot)` map of live transactions.
+    index: Vec<(TxnId, u32)>,
+    /// Slot arena; dead slots keep their adjacency capacity for reuse.
+    slots: Vec<Slot>,
+    /// Free (dead) slot numbers.
+    free: Vec<u32>,
+    /// Pending structural events since the last `take_events`.
+    events: Vec<GraphEvent>,
+    /// Set when the log hit `EVENT_CAP`; consumers must full-rebuild.
+    events_overflowed: bool,
+}
+
+impl Clone for Wtpg {
+    fn clone(&self) -> Self {
+        Wtpg {
+            index: self.index.clone(),
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            events: self.events.clone(),
+            events_overflowed: self.events_overflowed,
+        }
+    }
+
+    /// Allocation-reusing copy for trial-grant evaluation
+    /// ([`crate::eq::eval_grant_with`]): slot and adjacency buffers of
+    /// `self` are retained. The destination's event log is reset rather
+    /// than copied — trial graphs never drive an incremental engine.
+    fn clone_from(&mut self, source: &Self) {
+        self.index.clone_from(&source.index);
+        self.slots.clone_from(&source.slots);
+        self.free.clone_from(&source.free);
+        self.events.clear();
+        self.events_overflowed = false;
+    }
+}
+
+/// Semantic equality: same transactions, weights, and pair edges.
+/// Arena slot numbers, free lists, and pending events are ignored.
+impl PartialEq for Wtpg {
+    fn eq(&self, other: &Self) -> bool {
+        if self.index.len() != other.index.len() {
+            return false;
+        }
+        self.index
+            .iter()
+            .zip(&other.index)
+            .all(|(&(t, s), &(u, o))| {
+                let (a, b) = (&self.slots[s as usize], &other.slots[o as usize]);
+                t == u
+                    && a.node == b.node
+                    && a.adj.len() == b.adj.len()
+                    && a.adj
+                        .iter()
+                        .zip(b.adj.iter())
+                        .all(|(x, y)| x.id == y.id && x.edge == y.edge)
+            })
+    }
 }
 
 impl Wtpg {
@@ -156,28 +312,109 @@ impl Wtpg {
 
     /// Number of live transaction nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.index.len()
     }
 
     /// True if the graph has no transactions.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether `t` is a live node.
     pub fn contains(&self, t: TxnId) -> bool {
-        self.nodes.contains_key(&t)
+        self.lookup(t).is_some()
     }
 
     /// Iterate over live transaction ids in ascending order.
     pub fn txns(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.nodes.keys().copied()
+        self.index.iter().map(|&(t, _)| t)
     }
 
-    /// Iterate over all pair edges.
+    /// Iterate over all pair edges in ascending `(lo, hi)` order.
     pub fn edges(&self) -> impl Iterator<Item = (PairKey, &PairEdge)> + '_ {
-        self.edges.iter().map(|(k, e)| (*k, e))
+        self.index.iter().flat_map(move |&(t, s)| {
+            self.slots[s as usize]
+                .adj
+                .iter()
+                .filter(move |a| t < a.id)
+                .map(move |a| (PairKey { lo: t, hi: a.id }, &a.edge))
+        })
     }
+
+    // ---- internal arena plumbing ------------------------------------
+
+    fn index_pos(&self, t: TxnId) -> Result<usize, usize> {
+        self.index.binary_search_by_key(&t, |&(id, _)| id)
+    }
+
+    pub(crate) fn lookup(&self, t: TxnId) -> Option<u32> {
+        self.index_pos(t).ok().map(|i| self.index[i].1)
+    }
+
+    /// Upper bound on slot numbers (for sizing scratch buffers).
+    pub(crate) fn slot_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live slots in ascending transaction-id order.
+    pub(crate) fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.index.iter().map(|&(_, s)| s)
+    }
+
+    pub(crate) fn slot_id(&self, s: u32) -> TxnId {
+        self.slots[s as usize].id
+    }
+
+    pub(crate) fn slot_t0(&self, s: u32) -> f64 {
+        self.slots[s as usize].node.t0_weight
+    }
+
+    pub(crate) fn slot_adj(&self, s: u32) -> &[Adj] {
+        self.slots[s as usize].adj.as_slice()
+    }
+
+    fn adj_of(&self, t: TxnId) -> &[Adj] {
+        match self.lookup(t) {
+            Some(s) => self.slots[s as usize].adj.as_slice(),
+            None => &[],
+        }
+    }
+
+    /// Locate the adjacency entry for `b` on `a`'s side.
+    fn adj_pos(&self, a: TxnId, b: TxnId) -> Option<(u32, usize)> {
+        let sa = self.lookup(a)?;
+        let adj = self.slots[sa as usize].adj.as_slice();
+        let i = adj.binary_search_by_key(&b, |x| x.id).ok()?;
+        Some((sa, i))
+    }
+
+    fn log(&mut self, e: GraphEvent) {
+        if self.events_overflowed {
+            return;
+        }
+        if self.events.len() >= EVENT_CAP {
+            self.events.clear();
+            self.events_overflowed = true;
+            return;
+        }
+        self.events.push(e);
+    }
+
+    /// Drain pending structural events into `out` (cleared first).
+    /// Returns `true` if the log overflowed since the last drain, in
+    /// which case `out` is empty and the consumer must rebuild.
+    pub(crate) fn take_events(&mut self, out: &mut Vec<GraphEvent>) -> bool {
+        out.clear();
+        let overflowed = self.events_overflowed;
+        if !overflowed {
+            out.extend_from_slice(&self.events);
+        }
+        self.events.clear();
+        self.events_overflowed = false;
+        overflowed
+    }
+
+    // ---- public mutation API ----------------------------------------
 
     /// Add a transaction with its initial `T0` weight (total declared I/O
     /// demand).
@@ -190,11 +427,29 @@ impl Wtpg {
             t0_weight.is_finite() && t0_weight >= 0.0,
             "invalid T0 weight {t0_weight} for {t:?}"
         );
-        let prev = self.nodes.insert(t, Node { t0_weight });
-        assert!(prev.is_none(), "duplicate transaction {t:?}");
-        self.adj.entry(t).or_default();
-        self.succ.entry(t).or_default();
-        self.pred.entry(t).or_default();
+        let pos = match self.index_pos(t) {
+            Ok(_) => panic!("duplicate transaction {t:?}"),
+            Err(pos) => pos,
+        };
+        let s = match self.free.pop() {
+            Some(s) => {
+                let slot = &mut self.slots[s as usize];
+                debug_assert!(slot.adj.is_empty(), "freed slot kept adjacency");
+                slot.id = t;
+                slot.node = Node { t0_weight };
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    id: t,
+                    node: Node { t0_weight },
+                    adj: SmallVec::new(),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(pos, (t, s));
+        self.log(GraphEvent::Added(t));
     }
 
     /// Remove a transaction (on commit or abort) together with all its
@@ -203,29 +458,31 @@ impl Wtpg {
     /// # Panics
     /// Panics if the transaction is not present.
     pub fn remove_txn(&mut self, t: TxnId) {
-        self.nodes
-            .remove(&t)
-            .expect("remove of unknown transaction");
-        let neighbors = self.adj.remove(&t).unwrap_or_default();
-        for n in neighbors {
-            self.edges.remove(&PairKey::new(t, n));
-            if let Some(set) = self.adj.get_mut(&n) {
-                set.remove(&t);
-            }
-            if let Some(set) = self.succ.get_mut(&n) {
-                set.remove(&t);
-            }
-            if let Some(set) = self.pred.get_mut(&n) {
-                set.remove(&t);
-            }
+        let pos = self
+            .index_pos(t)
+            .unwrap_or_else(|_| panic!("remove of unknown transaction"));
+        let s = self.index[pos].1;
+        for i in 0..self.slots[s as usize].adj.len() {
+            let a = self.slots[s as usize].adj.as_slice()[i];
+            let nadj = &mut self.slots[a.slot as usize].adj;
+            let j = nadj
+                .as_slice()
+                .binary_search_by_key(&t, |x| x.id)
+                .expect("reciprocal adjacency missing");
+            nadj.remove(j);
         }
-        self.succ.remove(&t);
-        self.pred.remove(&t);
+        self.slots[s as usize].adj.clear();
+        self.index.remove(pos);
+        self.free.push(s);
+        self.log(GraphEvent::Removed(t));
     }
 
     /// Current `T0 → t` weight (remaining I/O demand).
     pub fn t0_weight(&self, t: TxnId) -> f64 {
-        self.nodes[&t].t0_weight
+        let s = self
+            .lookup(t)
+            .unwrap_or_else(|| panic!("unknown transaction {t:?}"));
+        self.slots[s as usize].node.t0_weight
     }
 
     /// Update the `T0 → t` weight as the schedule proceeds.
@@ -234,10 +491,11 @@ impl Wtpg {
     /// Panics on unknown transaction or invalid weight.
     pub fn set_t0_weight(&mut self, t: TxnId, w: f64) {
         assert!(w.is_finite() && w >= 0.0, "invalid T0 weight {w}");
-        self.nodes
-            .get_mut(&t)
-            .unwrap_or_else(|| panic!("unknown transaction {t:?}"))
-            .t0_weight = w;
+        let s = self
+            .lookup(t)
+            .unwrap_or_else(|| panic!("unknown transaction {t:?}"));
+        self.slots[s as usize].node.t0_weight = w;
+        self.log(GraphEvent::Touched(t));
     }
 
     /// Declare a conflict between `a` and `b` with directed weights
@@ -257,36 +515,73 @@ impl Wtpg {
         } else {
             (w_ba, w_ab)
         };
-        let state = self
-            .edges
-            .get(&key)
-            .map(|e| e.state)
-            .unwrap_or(EdgeState::Conflict);
-        self.edges.insert(
-            key,
-            PairEdge {
-                w_lo_hi,
-                w_hi_lo,
-                state,
-            },
-        );
-        self.adj.get_mut(&a).unwrap().insert(b);
-        self.adj.get_mut(&b).unwrap().insert(a);
+        let sa = self.lookup(a).unwrap();
+        let sb = self.lookup(b).unwrap();
+        match self.adj_pos(a, b) {
+            Some((_, i)) => {
+                let state = self.slots[sa as usize].adj.as_slice()[i].edge.state;
+                let edge = PairEdge {
+                    w_lo_hi,
+                    w_hi_lo,
+                    state,
+                };
+                self.slots[sa as usize].adj.as_mut_slice()[i].edge = edge;
+                let (_, j) = self.adj_pos(b, a).expect("reciprocal adjacency missing");
+                self.slots[sb as usize].adj.as_mut_slice()[j].edge = edge;
+                self.log(GraphEvent::Touched(a));
+            }
+            None => {
+                let edge = PairEdge {
+                    w_lo_hi,
+                    w_hi_lo,
+                    state: EdgeState::Conflict,
+                };
+                let i = self.slots[sa as usize]
+                    .adj
+                    .as_slice()
+                    .binary_search_by_key(&b, |x| x.id)
+                    .unwrap_err();
+                self.slots[sa as usize].adj.insert(
+                    i,
+                    Adj {
+                        id: b,
+                        slot: sb,
+                        edge,
+                    },
+                );
+                let j = self.slots[sb as usize]
+                    .adj
+                    .as_slice()
+                    .binary_search_by_key(&a, |x| x.id)
+                    .unwrap_err();
+                self.slots[sb as usize].adj.insert(
+                    j,
+                    Adj {
+                        id: a,
+                        slot: sa,
+                        edge,
+                    },
+                );
+                self.log(GraphEvent::Linked(a, b));
+            }
+        }
     }
 
     /// The edge between `a` and `b`, if any.
     pub fn edge(&self, a: TxnId, b: TxnId) -> Option<&PairEdge> {
-        self.edges.get(&PairKey::new(a, b))
+        assert!(a != b, "self-conflict on {a:?}");
+        let (s, i) = self.adj_pos(a, b)?;
+        Some(&self.slots[s as usize].adj.as_slice()[i].edge)
     }
 
-    /// Pair-neighbors of `t` (conflict or precedence).
+    /// Pair-neighbors of `t` (conflict or precedence), ascending by id.
     pub fn neighbors(&self, t: TxnId) -> impl Iterator<Item = TxnId> + '_ {
-        self.adj.get(&t).into_iter().flatten().copied()
+        self.adj_of(t).iter().map(|a| a.id)
     }
 
     /// Degree of `t` in the (undirected) conflict graph.
     pub fn degree(&self, t: TxnId) -> usize {
-        self.adj.get(&t).map_or(0, |s| s.len())
+        self.adj_of(t).len()
     }
 
     /// Decide the order of the pair: `from` precedes `to`, replacing the
@@ -306,21 +601,21 @@ impl Wtpg {
         } else {
             Direction::HiToLo
         };
-        let edge = self
-            .edges
-            .get_mut(&key)
+        let (sf, i) = self
+            .adj_pos(from, to)
             .unwrap_or_else(|| panic!("no edge between {from:?} and {to:?}"));
-        match edge.state {
+        let entry = self.slots[sf as usize].adj.as_slice()[i];
+        match entry.edge.state {
             EdgeState::Conflict => {
-                edge.state = EdgeState::Precedence(dir);
-                self.succ
-                    .get_mut(&from)
-                    .expect("from node missing")
-                    .insert(to);
-                self.pred
-                    .get_mut(&to)
-                    .expect("to node missing")
-                    .insert(from);
+                self.slots[sf as usize].adj.as_mut_slice()[i].edge.state =
+                    EdgeState::Precedence(dir);
+                let (_, j) = self
+                    .adj_pos(to, from)
+                    .expect("reciprocal adjacency missing");
+                self.slots[entry.slot as usize].adj.as_mut_slice()[j]
+                    .edge
+                    .state = EdgeState::Precedence(dir);
+                self.log(GraphEvent::Touched(from));
                 true
             }
             EdgeState::Precedence(d) if d == dir => false,
@@ -332,11 +627,11 @@ impl Wtpg {
 
     /// Whether the pair is decided as `from → to`.
     pub fn is_decided(&self, from: TxnId, to: TxnId) -> bool {
-        let key = PairKey::new(from, to);
-        self.edges
-            .get(&key)
-            .and_then(|e| e.decided(key))
-            .is_some_and(|(f, _)| f == from)
+        assert!(from != to, "self-conflict on {from:?}");
+        match self.adj_pos(from, to) {
+            Some((s, i)) => self.slots[s as usize].adj.as_slice()[i].owner_precedes(from),
+            None => false,
+        }
     }
 
     /// Whether the pair still has an undecided conflict edge.
@@ -347,26 +642,28 @@ impl Wtpg {
 
     /// Directed precedence successors of `t` with edge weights.
     pub fn successors(&self, t: TxnId) -> Vec<(TxnId, f64)> {
-        self.succ
-            .get(&t)
-            .into_iter()
-            .flatten()
-            .map(|&n| {
-                let key = PairKey::new(t, n);
-                (n, self.edges[&key].weight_from(key, t))
-            })
+        self.adj_of(t)
+            .iter()
+            .filter(|a| a.owner_precedes(t))
+            .map(|a| (a.id, a.weight_from_owner(t)))
             .collect()
     }
 
     /// Directed precedence successor ids of `t` (no weight lookups —
     /// the hot path for reachability and cycle checks).
     pub fn succ_ids(&self, t: TxnId) -> impl Iterator<Item = TxnId> + '_ {
-        self.succ.get(&t).into_iter().flatten().copied()
+        self.adj_of(t)
+            .iter()
+            .filter(move |a| a.owner_precedes(t))
+            .map(|a| a.id)
     }
 
     /// Directed precedence predecessor ids of `t`.
     pub fn pred_ids(&self, t: TxnId) -> impl Iterator<Item = TxnId> + '_ {
-        self.pred.get(&t).into_iter().flatten().copied()
+        self.adj_of(t)
+            .iter()
+            .filter(move |a| a.neighbor_precedes(t))
+            .map(|a| a.id)
     }
 
     /// Directed precedence predecessors of `t`.
@@ -376,11 +673,23 @@ impl Wtpg {
 
     /// All undecided conflict pairs, in deterministic order.
     pub fn conflict_pairs(&self) -> Vec<PairKey> {
-        self.edges
-            .iter()
-            .filter(|(_, e)| e.state == EdgeState::Conflict)
-            .map(|(k, _)| *k)
-            .collect()
+        let mut out = Vec::new();
+        self.conflict_pairs_into(&mut out);
+        out
+    }
+
+    /// Collect all undecided conflict pairs into `out` (cleared first),
+    /// ascending by `(lo, hi)` — the scratch-buffer variant used by
+    /// [`crate::paths::Scratch::propagate`].
+    pub fn conflict_pairs_into(&self, out: &mut Vec<PairKey>) {
+        out.clear();
+        for &(t, s) in &self.index {
+            for a in self.slots[s as usize].adj.iter() {
+                if t < a.id && a.edge.state == EdgeState::Conflict {
+                    out.push(PairKey { lo: t, hi: a.id });
+                }
+            }
+        }
     }
 }
 
@@ -516,5 +825,77 @@ mod tests {
         assert_eq!(k.lo, t(2));
         assert_eq!(k.other(t(2)), t(5));
         assert_eq!(k.other(t(5)), t(2));
+    }
+
+    #[test]
+    fn edges_iterate_in_pair_key_order() {
+        let mut g = Wtpg::new();
+        for i in [5u64, 1, 3, 2] {
+            g.add_txn(t(i), 1.0);
+        }
+        g.declare_conflict(t(5), t(1), 1.0, 1.0);
+        g.declare_conflict(t(3), t(2), 1.0, 1.0);
+        g.declare_conflict(t(1), t(2), 1.0, 1.0);
+        g.declare_conflict(t(5), t(3), 1.0, 1.0);
+        let keys: Vec<PairKey> = g.edges().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                PairKey::new(t(1), t(2)),
+                PairKey::new(t(1), t(5)),
+                PairKey::new(t(2), t(3)),
+                PairKey::new(t(3), t(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots() {
+        let mut g = Wtpg::new();
+        for i in 0..8 {
+            g.add_txn(t(i), 1.0);
+        }
+        let cap = g.slots.len();
+        for i in 0..4 {
+            g.remove_txn(t(i));
+        }
+        for i in 10..14 {
+            g.add_txn(t(i), 1.0);
+        }
+        assert_eq!(g.slots.len(), cap, "freed slots must be reused");
+        assert_eq!(g.len(), 8);
+    }
+
+    #[test]
+    fn event_log_overflow_requests_rebuild() {
+        let mut g = Wtpg::new();
+        g.add_txn(t(0), 1.0);
+        for _ in 0..(EVENT_CAP + 10) {
+            g.set_t0_weight(t(0), 2.0);
+        }
+        let mut out = vec![GraphEvent::Added(t(99))];
+        assert!(g.take_events(&mut out), "overflow must be reported");
+        assert!(out.is_empty(), "overflowed log yields no events");
+        // after a drain the log records again
+        g.set_t0_weight(t(0), 3.0);
+        assert!(!g.take_events(&mut out));
+        assert_eq!(out, vec![GraphEvent::Touched(t(0))]);
+    }
+
+    #[test]
+    fn semantic_eq_ignores_slot_layout() {
+        let mut a = Wtpg::new();
+        a.add_txn(t(1), 1.0);
+        a.add_txn(t(2), 2.0);
+        a.add_txn(t(3), 3.0);
+        a.declare_conflict(t(2), t(3), 1.0, 2.0);
+        a.remove_txn(t(1));
+        let mut b = Wtpg::new();
+        b.add_txn(t(2), 2.0);
+        b.add_txn(t(3), 3.0);
+        b.declare_conflict(t(2), t(3), 1.0, 2.0);
+        assert_eq!(a, b);
+        b.set_precedence(t(2), t(3));
+        assert_ne!(a, b);
     }
 }

@@ -8,6 +8,13 @@
 use crate::graph::{PairKey, TxnId, Wtpg};
 use crate::paths;
 
+/// Hard cap on undecided pairs the brute-force oracle will enumerate.
+///
+/// Kept well below 32 because the orientation mask is a `u32` (`1u32 << n`
+/// overflows — and panics in debug — at `n >= 32`); in practice `2^20`
+/// graph clones is already the useful limit for a test oracle.
+pub const MAX_UNDECIDED_PAIRS: usize = 20;
+
 /// Minimum critical path over **all** full serializable orders (every
 /// undecided pair oriented both ways, keeping only acyclic results).
 /// Works on arbitrary WTPGs, not just chain-form ones.
@@ -15,10 +22,20 @@ use crate::paths;
 /// `forced` pins one pair's orientation, as in
 /// [`crate::chain::min_critical`]. Returns `f64::INFINITY` if no acyclic
 /// full order satisfies the constraints.
+///
+/// # Panics
+/// Panics when the graph has more than [`MAX_UNDECIDED_PAIRS`] undecided
+/// pairs: the enumeration is `2^n` over a 32-bit mask, so the contract is
+/// small test graphs only — never call this from the simulator hot path.
 pub fn min_critical_bruteforce(g: &Wtpg, forced: &[(TxnId, TxnId)]) -> f64 {
     let pairs: Vec<PairKey> = g.conflict_pairs();
     let n = pairs.len();
-    assert!(n <= 20, "brute force limited to 20 undecided pairs");
+    assert!(
+        n <= MAX_UNDECIDED_PAIRS,
+        "min_critical_bruteforce enumerates 2^n orientations and is a \
+         small-graph-only oracle: got {n} undecided pairs, limit is \
+         {MAX_UNDECIDED_PAIRS} (a u32 mask overflows `1 << n` at n >= 32)"
+    );
     let mut best = f64::INFINITY;
     'mask: for mask in 0u32..(1 << n) {
         let mut trial = g.clone();
@@ -45,6 +62,10 @@ pub fn min_critical_bruteforce(g: &Wtpg, forced: &[(TxnId, TxnId)]) -> f64 {
 /// ordered list of committed transactions and the pairwise precedence
 /// constraints observed during the run, verify the constraint graph is
 /// acyclic (i.e. some serial order agrees with every constraint).
+///
+/// Unlike [`min_critical_bruteforce`] this runs Kahn's algorithm — linear
+/// in the constraint count, no `2^n` mask — so it needs no size guard and
+/// is safe on full simulation histories.
 pub fn is_serializable(constraints: &[(TxnId, TxnId)]) -> bool {
     use std::collections::{BTreeMap, BTreeSet};
     let mut adj: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
@@ -117,6 +138,21 @@ mod tests {
         // transitive edge also exists: 1->2->3 plus 1->3 gives longest
         // path max(1+1+1, 1+1) = 3.
         assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "small-graph-only oracle")]
+    fn bruteforce_rejects_oversized_graphs() {
+        // A star with 21 undecided pairs exceeds MAX_UNDECIDED_PAIRS and
+        // must panic with the contract message instead of attempting (or
+        // overflowing toward) a 2^n enumeration.
+        let mut g = Wtpg::new();
+        g.add_txn(t(0), 1.0);
+        for i in 1..=(MAX_UNDECIDED_PAIRS as u64 + 1) {
+            g.add_txn(t(i), 1.0);
+            g.declare_conflict(t(0), t(i), 1.0, 1.0);
+        }
+        min_critical_bruteforce(&g, &[]);
     }
 
     #[test]

@@ -4,6 +4,18 @@
 //! All algorithms operate on the *decided* (precedence) edges only;
 //! undecided conflict edges are ignored, exactly as Phase 2 of the paper's
 //! `E(q)` function prescribes ("Ignore all the remaining conflict-edges").
+//!
+//! Every algorithm is **iterative** (explicit stacks, no recursion — long
+//! blocking chains at high MPL must not overflow the call stack) and runs
+//! against the graph's slot arena through a reusable [`Scratch`]: visited
+//! marks are epoch-stamped (`O(1)` reset), DFS frames and worklists live
+//! in buffers the caller keeps across decisions. The original free
+//! functions remain as thin wrappers that allocate a fresh `Scratch`.
+//!
+//! Bit-for-bit determinism: distances fold `max` over predecessors in
+//! ascending-id order and the critical path folds `max` over nodes in
+//! ascending-id order, exactly like the original recursive version, so
+//! every `f64` this module returns is identical to the seed engine's.
 
 use crate::graph::{PairKey, TxnId, Wtpg};
 use std::collections::BTreeMap;
@@ -29,92 +41,408 @@ impl std::fmt::Display for Contradiction {
 
 impl std::error::Error for Contradiction {}
 
-/// Is there a directed precedence path `from ⇝ to`?
+/// Reusable traversal state for the path algorithms.
 ///
-/// `from == to` counts as reachable (empty path).
-pub fn reachable(g: &Wtpg, from: TxnId, to: TxnId) -> bool {
-    if from == to {
-        return true;
+/// `mark`/`done` are epoch-stamped per arena slot: bumping `epoch` resets
+/// every mark in `O(1)`, so a scheduler can run thousands of reachability
+/// and critical-path queries without touching the allocator (buffers only
+/// grow when the arena does).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Slot visited in the current query (grey, or "pushed").
+    mark: Vec<u64>,
+    /// Slot fully processed in the current query (black, or "finalized").
+    done: Vec<u64>,
+    /// Current query epoch; a mark is set iff its cell equals `epoch`.
+    epoch: u64,
+    /// DFS frames: `(slot, next adjacency cursor)`.
+    frames: Vec<(u32, u32)>,
+    /// Longest-path distance per slot (valid where `mark == epoch`).
+    dist: Vec<f64>,
+    /// Worklist of undecided pairs for [`Scratch::propagate`].
+    pairs: Vec<PairKey>,
+    /// Transitive-closure bitset rows for [`Scratch::propagate`]
+    /// (`slot → descendant slots`), `closure_words` words per row.
+    closure: Vec<u64>,
+    /// Words per closure row.
+    closure_words: usize,
+}
+
+/// Above this arena size `propagate` falls back to per-pair DFS probes:
+/// the closure matrix costs `slot_bound² / 8` bytes — a few KB at
+/// realistic multiprogramming levels, but unreasonable for degenerate
+/// deep-chain stress graphs.
+const CLOSURE_SLOT_LIMIT: usize = 4096;
+
+impl Scratch {
+    /// Fresh scratch state (allocates nothing until first use).
+    pub fn new() -> Self {
+        Scratch::default()
     }
-    let mut stack = vec![from];
-    let mut seen = std::collections::BTreeSet::new();
-    seen.insert(from);
-    while let Some(v) = stack.pop() {
-        for s in g.succ_ids(v) {
-            if s == to {
+
+    /// Start a new query: size the mark buffers to the arena and bump the
+    /// epoch so all previous marks become stale.
+    fn begin(&mut self, g: &Wtpg) {
+        let n = g.slot_bound();
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.done.resize(n, 0);
+            self.dist.resize(n, 0.0);
+        }
+        self.epoch += 1;
+        self.frames.clear();
+    }
+
+    /// Is there a directed precedence path `from ⇝ to`?
+    ///
+    /// `from == to` counts as reachable (empty path).
+    pub fn reachable(&mut self, g: &Wtpg, from: TxnId, to: TxnId) -> bool {
+        if from == to {
+            return true;
+        }
+        let Some(start) = g.lookup(from) else {
+            return false;
+        };
+        self.begin(g);
+        let e = self.epoch;
+        self.mark[start as usize] = e;
+        self.frames.push((start, 0));
+        while let Some((s, _)) = self.frames.pop() {
+            let owner = g.slot_id(s);
+            for a in g.slot_adj(s) {
+                if !a.owner_precedes(owner) {
+                    continue;
+                }
+                if a.id == to {
+                    self.frames.clear();
+                    return true;
+                }
+                if self.mark[a.slot as usize] != e {
+                    self.mark[a.slot as usize] = e;
+                    self.frames.push((a.slot, 0));
+                }
+            }
+        }
+        false
+    }
+
+    /// Is `target` reachable from *any* of `sources` (each counting
+    /// itself as reachable)? Multi-source variant used by C2PL's
+    /// predicted-deadlock check.
+    pub fn reachable_from_any<I>(&mut self, g: &Wtpg, sources: I, target: TxnId) -> bool
+    where
+        I: IntoIterator<Item = TxnId>,
+    {
+        self.begin(g);
+        let e = self.epoch;
+        for src in sources {
+            if src == target {
+                self.frames.clear();
                 return true;
             }
-            if seen.insert(s) {
-                stack.push(s);
+            if let Some(s) = g.lookup(src) {
+                if self.mark[s as usize] != e {
+                    self.mark[s as usize] = e;
+                    self.frames.push((s, 0));
+                }
+            }
+        }
+        while let Some((s, _)) = self.frames.pop() {
+            let owner = g.slot_id(s);
+            for a in g.slot_adj(s) {
+                if !a.owner_precedes(owner) {
+                    continue;
+                }
+                if a.id == target {
+                    self.frames.clear();
+                    return true;
+                }
+                if self.mark[a.slot as usize] != e {
+                    self.mark[a.slot as usize] = e;
+                    self.frames.push((a.slot, 0));
+                }
+            }
+        }
+        false
+    }
+
+    /// Does the precedence subgraph contain a directed cycle?
+    pub fn has_cycle(&mut self, g: &Wtpg) -> bool {
+        self.begin(g);
+        let e = self.epoch;
+        // `mark` = grey (on the DFS stack), `done` = black (finished).
+        for root in g.live_slots() {
+            if self.done[root as usize] == e || self.mark[root as usize] == e {
+                continue;
+            }
+            self.mark[root as usize] = e;
+            self.frames.push((root, 0));
+            while !self.frames.is_empty() {
+                let top = self.frames.len() - 1;
+                let (s, cur) = self.frames[top];
+                let adj = g.slot_adj(s);
+                if cur as usize >= adj.len() {
+                    self.done[s as usize] = e;
+                    self.frames.pop();
+                    continue;
+                }
+                self.frames[top].1 = cur + 1;
+                let a = adj[cur as usize];
+                if !a.owner_precedes(g.slot_id(s)) {
+                    continue;
+                }
+                let n = a.slot as usize;
+                if self.done[n] == e {
+                    continue;
+                }
+                if self.mark[n] == e {
+                    self.frames.clear();
+                    return true; // grey → back edge → cycle
+                }
+                self.mark[n] = e;
+                self.frames.push((a.slot, 0));
+            }
+        }
+        false
+    }
+
+    /// Fill `dist` for every live slot (assumes acyclic; caller checks).
+    /// Distances are finalized in DFS post-order over predecessors, with
+    /// each node's fold over its predecessors in ascending-id order —
+    /// bit-identical to the recursive formulation.
+    fn fill_distances(&mut self, g: &Wtpg) {
+        self.begin(g);
+        let e = self.epoch;
+        // `mark` = pushed, `done` = dist finalized.
+        for root in g.live_slots() {
+            if self.mark[root as usize] == e {
+                continue;
+            }
+            self.mark[root as usize] = e;
+            self.frames.push((root, 0));
+            while !self.frames.is_empty() {
+                let top = self.frames.len() - 1;
+                let (s, cur) = self.frames[top];
+                let owner = g.slot_id(s);
+                let adj = g.slot_adj(s);
+                if cur as usize >= adj.len() {
+                    // All predecessors finalized: compute dist(s).
+                    let mut best = g.slot_t0(s);
+                    for a in adj {
+                        if a.neighbor_precedes(owner) {
+                            debug_assert_eq!(self.done[a.slot as usize], e);
+                            let d = self.dist[a.slot as usize] + a.weight_from_neighbor(owner);
+                            if d > best {
+                                best = d;
+                            }
+                        }
+                    }
+                    self.dist[s as usize] = best;
+                    self.done[s as usize] = e;
+                    self.frames.pop();
+                    continue;
+                }
+                self.frames[top].1 = cur + 1;
+                let a = adj[cur as usize];
+                if a.neighbor_precedes(owner) && self.mark[a.slot as usize] != e {
+                    self.mark[a.slot as usize] = e;
+                    self.frames.push((a.slot, 0));
+                }
             }
         }
     }
-    false
+
+    /// Critical path length from `T0` to `Tf` over precedence edges only.
+    ///
+    /// `dist(v) = max(t0_weight(v), max over decided u→v of dist(u) + w)`
+    /// and the critical path is `max_v dist(v)` (every `v → Tf` edge has
+    /// weight zero under the paper's cost model).
+    ///
+    /// Returns `f64::INFINITY` if the precedence subgraph is cyclic (a
+    /// cyclic "schedule" can never complete — callers treat this as
+    /// deadlock).
+    pub fn critical_path(&mut self, g: &Wtpg) -> f64 {
+        if self.has_cycle(g) {
+            return f64::INFINITY;
+        }
+        self.fill_distances(g);
+        let mut critical: f64 = 0.0;
+        for s in g.live_slots() {
+            critical = critical.max(self.dist[s as usize]);
+        }
+        critical
+    }
+
+    /// Build the transitive closure of the decided subgraph as bitset
+    /// rows: one DFS post-order pass (exact on acyclic graphs) plus
+    /// OR-sweeps to a fixpoint (a no-op confirmation pass on acyclic
+    /// graphs, only iterating when the decided edges already cycle).
+    fn build_closure(&mut self, g: &Wtpg) {
+        let n = g.slot_bound();
+        let words = n.div_ceil(64);
+        self.closure_words = words;
+        self.closure.clear();
+        self.closure.resize(n * words, 0);
+        self.begin(g);
+        let e = self.epoch;
+        for root in g.live_slots() {
+            if self.mark[root as usize] == e {
+                continue;
+            }
+            self.mark[root as usize] = e;
+            self.frames.push((root, 0));
+            while !self.frames.is_empty() {
+                let top = self.frames.len() - 1;
+                let (s, cur) = self.frames[top];
+                let owner = g.slot_id(s);
+                let adj = g.slot_adj(s);
+                if cur as usize >= adj.len() {
+                    // Successors finalized (on a DAG): fold their rows.
+                    for a in adj {
+                        if a.owner_precedes(owner) {
+                            self.closure_set(s as usize, a.slot as usize);
+                            self.closure_or(s as usize, a.slot as usize);
+                        }
+                    }
+                    self.frames.pop();
+                    continue;
+                }
+                self.frames[top].1 = cur + 1;
+                let a = adj[cur as usize];
+                if a.owner_precedes(owner) && self.mark[a.slot as usize] != e {
+                    self.mark[a.slot as usize] = e;
+                    self.frames.push((a.slot, 0));
+                }
+            }
+        }
+        loop {
+            let mut grew = false;
+            for s in g.live_slots() {
+                let owner = g.slot_id(s);
+                for a in g.slot_adj(s) {
+                    if a.owner_precedes(owner) {
+                        grew |= self.closure_or(s as usize, a.slot as usize);
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+
+    fn closure_set(&mut self, s: usize, t: usize) {
+        self.closure[s * self.closure_words + t / 64] |= 1u64 << (t % 64);
+    }
+
+    /// OR row `t` into row `s`; reports whether row `s` grew.
+    fn closure_or(&mut self, s: usize, t: usize) -> bool {
+        let w = self.closure_words;
+        let mut changed = false;
+        for k in 0..w {
+            let v = self.closure[t * w + k];
+            let cell = &mut self.closure[s * w + k];
+            if *cell | v != *cell {
+                *cell |= v;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn closure_has(&self, s: usize, t: usize) -> bool {
+        self.closure[s * self.closure_words + t / 64] >> (t % 64) & 1 == 1
+    }
+
+    /// Propagate forced orientations (the paper's Fig. 6 rule) to a
+    /// fixpoint, driven by a reusable worklist of undecided pairs (decided
+    /// pairs drop out; unresolved pairs are re-checked each pass, exactly
+    /// reproducing the original snapshot-per-pass decision order).
+    ///
+    /// A forced orientation `a → b` is applied only when `a ⇝ b` is
+    /// *already* reachable over decided edges, so applying it never adds
+    /// reachability: the transitive closure is constant for the whole
+    /// call. It is therefore built once up front (bitset rows) and every
+    /// pair probe is an `O(1)` lookup instead of a DFS — identical truth
+    /// values, so the decision sequence is bit-for-bit the same as the
+    /// probing version, which remains as the fallback for oversized
+    /// arenas. The multi-pass loop is kept for structural fidelity; with
+    /// a constant closure it settles in two passes.
+    ///
+    /// Returns [`Contradiction`] if some pair is reachable in *both*
+    /// directions.
+    pub fn propagate(&mut self, g: &mut Wtpg) -> Result<(), Contradiction> {
+        let mut pairs = std::mem::take(&mut self.pairs);
+        g.conflict_pairs_into(&mut pairs);
+        if pairs.is_empty() {
+            self.pairs = pairs;
+            return Ok(());
+        }
+        let use_closure = g.slot_bound() <= CLOSURE_SLOT_LIMIT;
+        if use_closure {
+            self.build_closure(g);
+        }
+        loop {
+            let mut changed = false;
+            let mut keep = 0;
+            for i in 0..pairs.len() {
+                let key = pairs[i];
+                let (ab, ba) = if use_closure {
+                    let lo = g.lookup(key.lo).expect("pair endpoint is live") as usize;
+                    let hi = g.lookup(key.hi).expect("pair endpoint is live") as usize;
+                    (self.closure_has(lo, hi), self.closure_has(hi, lo))
+                } else {
+                    (
+                        self.reachable(g, key.lo, key.hi),
+                        self.reachable(g, key.hi, key.lo),
+                    )
+                };
+                match (ab, ba) {
+                    (true, true) => {
+                        self.pairs = pairs;
+                        return Err(Contradiction { pair: key });
+                    }
+                    (true, false) => {
+                        g.set_precedence(key.lo, key.hi);
+                        changed = true;
+                    }
+                    (false, true) => {
+                        g.set_precedence(key.hi, key.lo);
+                        changed = true;
+                    }
+                    (false, false) => {
+                        pairs[keep] = key;
+                        keep += 1;
+                    }
+                }
+            }
+            pairs.truncate(keep);
+            if !changed {
+                self.pairs = pairs;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Is there a directed precedence path `from ⇝ to`?
+///
+/// `from == to` counts as reachable (empty path). One-shot wrapper over
+/// [`Scratch::reachable`].
+pub fn reachable(g: &Wtpg, from: TxnId, to: TxnId) -> bool {
+    Scratch::new().reachable(g, from, to)
 }
 
 /// Does the precedence subgraph contain a directed cycle?
+/// One-shot wrapper over [`Scratch::has_cycle`].
 pub fn has_cycle(g: &Wtpg) -> bool {
-    // Colors: 0 unvisited, 1 on stack, 2 done.
-    let mut color: BTreeMap<TxnId, u8> = BTreeMap::new();
-    fn dfs(g: &Wtpg, v: TxnId, color: &mut BTreeMap<TxnId, u8>) -> bool {
-        color.insert(v, 1);
-        for s in g.succ_ids(v) {
-            match color.get(&s).copied().unwrap_or(0) {
-                0 if dfs(g, s, color) => return true,
-                1 => return true,
-                _ => {}
-            }
-        }
-        color.insert(v, 2);
-        false
-    }
-    for v in g.txns() {
-        if color.get(&v).copied().unwrap_or(0) == 0 && dfs(g, v, &mut color) {
-            return true;
-        }
-    }
-    false
+    Scratch::new().has_cycle(g)
 }
 
 /// Critical path length from `T0` to `Tf` over precedence edges only.
-///
-/// `dist(v) = max(t0_weight(v), max over decided u→v of dist(u) + w(u→v))`
-/// and the critical path is `max_v dist(v)` (every `v → Tf` edge has
-/// weight zero under the paper's cost model).
-///
-/// Returns `f64::INFINITY` if the precedence subgraph is cyclic (a cyclic
-/// "schedule" can never complete — callers treat this as deadlock).
+/// One-shot wrapper over [`Scratch::critical_path`].
 pub fn critical_path(g: &Wtpg) -> f64 {
-    if has_cycle(g) {
-        return f64::INFINITY;
-    }
-    let mut dist: BTreeMap<TxnId, f64> = BTreeMap::new();
-    fn compute(g: &Wtpg, v: TxnId, dist: &mut BTreeMap<TxnId, f64>) -> f64 {
-        if let Some(&d) = dist.get(&v) {
-            return d;
-        }
-        let mut best = g.t0_weight(v);
-        for p in g.predecessors(v) {
-            let w = g
-                .edge(p, v)
-                .map(|e| {
-                    let key = crate::graph::PairKey::new(p, v);
-                    e.weight_from(key, p)
-                })
-                .unwrap_or(0.0);
-            let d = compute(g, p, dist) + w;
-            if d > best {
-                best = d;
-            }
-        }
-        dist.insert(v, best);
-        best
-    }
-    let mut critical: f64 = 0.0;
-    for v in g.txns() {
-        critical = critical.max(compute(g, v, &mut dist));
-    }
-    critical
+    Scratch::new().critical_path(g)
 }
 
 /// Per-node longest-path distances from `T0` (same recurrence as
@@ -123,29 +451,15 @@ pub fn critical_path(g: &Wtpg) -> f64 {
 /// # Panics
 /// Panics if the precedence subgraph is cyclic.
 pub fn distances(g: &Wtpg) -> BTreeMap<TxnId, f64> {
-    assert!(!has_cycle(g), "distances on cyclic precedence graph");
-    let mut dist: BTreeMap<TxnId, f64> = BTreeMap::new();
-    // Reuse critical_path's recursion by iterating nodes.
-    fn compute(g: &Wtpg, v: TxnId, dist: &mut BTreeMap<TxnId, f64>) -> f64 {
-        if let Some(&d) = dist.get(&v) {
-            return d;
-        }
-        let mut best = g.t0_weight(v);
-        for p in g.predecessors(v) {
-            let key = crate::graph::PairKey::new(p, v);
-            let w = g.edge(p, v).map(|e| e.weight_from(key, p)).unwrap_or(0.0);
-            let d = compute(g, p, dist) + w;
-            if d > best {
-                best = d;
-            }
-        }
-        dist.insert(v, best);
-        best
-    }
-    for v in g.txns() {
-        compute(g, v, &mut dist);
-    }
-    dist
+    let mut scratch = Scratch::new();
+    assert!(
+        !scratch.has_cycle(g),
+        "distances on cyclic precedence graph"
+    );
+    scratch.fill_distances(g);
+    g.live_slots()
+        .map(|s| (g.slot_id(s), scratch.dist[s as usize]))
+        .collect()
 }
 
 /// Propagate forced orientations (the paper's Fig. 6 rule): whenever an
@@ -157,29 +471,9 @@ pub fn distances(g: &Wtpg) -> BTreeMap<TxnId, f64> {
 /// Returns [`Contradiction`] if propagation discovers a pair reachable
 /// in *both* directions — i.e. the decided edges already form a cycle
 /// through the pair, so no serializable completion exists.
+/// One-shot wrapper over [`Scratch::propagate`].
 pub fn propagate(g: &mut Wtpg) -> Result<(), Contradiction> {
-    loop {
-        let mut changed = false;
-        for key in g.conflict_pairs() {
-            let ab = reachable(g, key.lo, key.hi);
-            let ba = reachable(g, key.hi, key.lo);
-            match (ab, ba) {
-                (true, true) => return Err(Contradiction { pair: key }),
-                (true, false) => {
-                    g.set_precedence(key.lo, key.hi);
-                    changed = true;
-                }
-                (false, true) => {
-                    g.set_precedence(key.hi, key.lo);
-                    changed = true;
-                }
-                (false, false) => {}
-            }
-        }
-        if !changed {
-            return Ok(());
-        }
-    }
+    Scratch::new().propagate(g)
 }
 
 #[cfg(test)]
@@ -352,5 +646,62 @@ mod tests {
         let d = distances(&g);
         assert_eq!(d[&t(1)], 2.0);
         assert_eq!(d[&t(2)], 5.0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries() {
+        let mut g = Wtpg::new();
+        for i in 1..=5 {
+            g.add_txn(t(i), 1.0);
+        }
+        for i in 1..5 {
+            g.declare_conflict(t(i), t(i + 1), 1.0, 1.0);
+            g.set_precedence(t(i), t(i + 1));
+        }
+        let mut s = Scratch::new();
+        for _ in 0..3 {
+            assert!(s.reachable(&g, t(1), t(5)));
+            assert!(!s.reachable(&g, t(5), t(1)));
+            assert!(!s.has_cycle(&g));
+            assert_eq!(s.critical_path(&g), 5.0);
+        }
+        // mutate and re-query with the same scratch
+        g.remove_txn(t(3));
+        assert!(!s.reachable(&g, t(1), t(5)));
+        assert_eq!(s.critical_path(&g), 2.0);
+    }
+
+    #[test]
+    fn reachable_from_any_multi_source() {
+        let mut g = Wtpg::new();
+        for i in 1..=4 {
+            g.add_txn(t(i), 0.0);
+        }
+        g.declare_conflict(t(1), t(2), 1.0, 1.0);
+        g.set_precedence(t(1), t(2));
+        let mut s = Scratch::new();
+        assert!(s.reachable_from_any(&g, [t(3), t(1)], t(2)));
+        assert!(!s.reachable_from_any(&g, [t(3), t(4)], t(2)));
+        assert!(s.reachable_from_any(&g, [t(2)], t(2)), "self counts");
+        assert!(!s.reachable_from_any(&g, std::iter::empty(), t(2)));
+    }
+
+    /// Deep chain: the recursive version of these algorithms overflowed
+    /// the stack here; the iterative version must not.
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 50_000u64;
+        let mut g = Wtpg::new();
+        for i in 0..n {
+            g.add_txn(t(i), 1.0);
+        }
+        for i in 0..n - 1 {
+            g.declare_conflict(t(i), t(i + 1), 1.0, 1.0);
+            g.set_precedence(t(i), t(i + 1));
+        }
+        let mut s = Scratch::new();
+        assert!(!s.has_cycle(&g));
+        assert_eq!(s.critical_path(&g), n as f64);
+        assert!(s.reachable(&g, t(0), t(n - 1)));
     }
 }

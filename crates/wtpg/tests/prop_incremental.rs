@@ -1,0 +1,333 @@
+//! Randomized equivalence tests for the allocation-free hot path: the
+//! incremental [`ChainEngine`] must agree bit-for-bit with the
+//! from-scratch chain DP on randomly *evolving* graphs, and the
+//! scratch-buffer variants of the path/E(q) routines must agree with
+//! their allocating counterparts. Inputs come from the same fixed-seed
+//! SplitMix64 stream as `prop_chain.rs`, so the suite is deterministic.
+
+use bds_wtpg::chain::{self, chains, is_chain_form, ChainEngine};
+use bds_wtpg::eq::{eval_grant, eval_grant_with, EqScratch};
+use bds_wtpg::graph::PairKey;
+use bds_wtpg::oracle::{min_critical_bruteforce, MAX_UNDECIDED_PAIRS};
+use bds_wtpg::paths::{self, has_cycle, propagate, reachable};
+use bds_wtpg::{TxnId, Wtpg};
+
+const CASES: u64 = 128;
+
+/// Oracle sampling bound: cheap (2^10 enumerations) and statically
+/// below the oracle's guard.
+const BRUTEFORCE_PAIR_CAP: usize = 10;
+const _: () = assert!(BRUTEFORCE_PAIR_CAP <= MAX_UNDECIDED_PAIRS);
+
+/// Minimal deterministic RNG (SplitMix64) for test-input generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(case: u64, salt: u64) -> Self {
+        Rng(0x57F6_C4A1 ^ salt ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn t(i: u64) -> TxnId {
+    TxnId(i)
+}
+
+fn undecided_pairs(g: &Wtpg) -> Vec<PairKey> {
+    g.edges()
+        .filter(|(k, e)| e.decided(*k).is_none())
+        .map(|(k, _)| k)
+        .collect()
+}
+
+/// Apply one random chain-form-preserving mutation, mirroring what GOW
+/// does over a transaction's lifetime: admissions (`add_txn` +
+/// endpoint links), weight refreshes, grant decisions
+/// (`set_precedence`), progress (`set_t0_weight`) and terminations
+/// (`remove_txn`).
+fn mutate_chain(g: &mut Wtpg, r: &mut Rng, next_id: &mut u64) {
+    let live: Vec<TxnId> = g.txns().collect();
+    match r.next_index(6) {
+        // Admit a new (so far conflict-free) transaction.
+        0 => {
+            g.add_txn(t(*next_id), r.next_f64() * 10.0);
+            *next_id += 1;
+        }
+        // Link endpoints of two different chains: stays chain-form
+        // because both endpoints have degree ≤ 1 and the components
+        // were disjoint.
+        1 if g.len() >= 2 => {
+            let cs = chains(g);
+            if cs.len() >= 2 {
+                let i = r.next_index(cs.len());
+                let mut j = r.next_index(cs.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let pick = |r: &mut Rng, c: &[TxnId]| {
+                    if r.next_index(2) == 0 {
+                        c[0]
+                    } else {
+                        *c.last().unwrap()
+                    }
+                };
+                let a = pick(r, &cs[i]);
+                let b = pick(r, &cs[j]);
+                g.declare_conflict(a, b, r.next_f64() * 10.0, r.next_f64() * 10.0);
+            }
+        }
+        // Re-declare the weights of an existing pair (restart path).
+        2 => {
+            let pairs: Vec<PairKey> = g.edges().map(|(k, _)| k).collect();
+            if !pairs.is_empty() {
+                let k = pairs[r.next_index(pairs.len())];
+                g.declare_conflict(k.lo, k.hi, r.next_f64() * 10.0, r.next_f64() * 10.0);
+            }
+        }
+        // Decide an undecided pair. Chain conflict graphs are acyclic,
+        // so any single orientation is consistent.
+        3 => {
+            let und = undecided_pairs(g);
+            if !und.is_empty() {
+                let k = und[r.next_index(und.len())];
+                if r.next_index(2) == 0 {
+                    g.set_precedence(k.lo, k.hi);
+                } else {
+                    g.set_precedence(k.hi, k.lo);
+                }
+            }
+        }
+        // Refresh a T0 weight (I/O progress).
+        4 if !live.is_empty() => {
+            let v = live[r.next_index(live.len())];
+            g.set_t0_weight(v, r.next_f64() * 10.0);
+        }
+        // Terminate a transaction (splits its chain in two).
+        5 if !live.is_empty() => {
+            let v = live[r.next_index(live.len())];
+            g.remove_txn(v);
+        }
+        _ => {
+            g.add_txn(t(*next_id), r.next_f64() * 10.0);
+            *next_id += 1;
+        }
+    }
+}
+
+/// Random forced orientations over currently undecided pairs, as GOW
+/// passes implied orientations of a candidate grant.
+fn random_forced(g: &Wtpg, r: &mut Rng) -> Vec<(TxnId, TxnId)> {
+    let und = undecided_pairs(g);
+    let mut forced = Vec::new();
+    for k in und {
+        if r.next_index(4) == 0 {
+            forced.push(if r.next_index(2) == 0 {
+                (k.lo, k.hi)
+            } else {
+                (k.hi, k.lo)
+            });
+        }
+        if forced.len() == 2 {
+            break;
+        }
+    }
+    forced
+}
+
+/// Assert that the incremental engine and the from-scratch DP agree
+/// bit-for-bit, both free and under `forced`, and (on small graphs)
+/// that both agree with exhaustive enumeration.
+fn check_engine(engine: &mut ChainEngine, g: &mut Wtpg, r: &mut Rng) {
+    assert!(is_chain_form(g), "mutation broke chain form");
+    let fast = engine.min_critical(g, &[]);
+    let slow = chain::min_critical(g, &[]);
+    assert_eq!(
+        fast.to_bits(),
+        slow.to_bits(),
+        "engine={fast} recompute={slow}"
+    );
+    let forced = random_forced(g, r);
+    if !forced.is_empty() {
+        let fast_f = engine.min_critical(g, &forced);
+        let slow_f = chain::min_critical(g, &forced);
+        assert_eq!(
+            fast_f.to_bits(),
+            slow_f.to_bits(),
+            "forced={forced:?}: engine={fast_f} recompute={slow_f}"
+        );
+    }
+    // Occasionally cross-check against the exponential oracle, keeping
+    // the graph well under the oracle's MAX_UNDECIDED_PAIRS guard.
+    let und = undecided_pairs(g).len();
+    if und <= BRUTEFORCE_PAIR_CAP && r.next_index(8) == 0 {
+        let brute = min_critical_bruteforce(g, &[]);
+        assert!(
+            (fast.is_infinite() && brute.is_infinite()) || (fast - brute).abs() < 1e-9,
+            "engine={fast} bruteforce={brute}"
+        );
+    }
+}
+
+/// The incremental engine tracks an evolving chain-form graph through
+/// every mutation kind the GOW scheduler performs, with the engine
+/// queried after short bursts (1–4 mutations) so the event-replay path
+/// sees mixed batches.
+#[test]
+fn engine_matches_recompute_on_evolving_chains() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case, 11);
+        let mut g = Wtpg::new();
+        let mut engine = ChainEngine::new();
+        let mut next_id = 0u64;
+        for _ in 0..2 + r.next_index(4) {
+            g.add_txn(t(next_id), r.next_f64() * 10.0);
+            next_id += 1;
+        }
+        for _ in 0..24 {
+            for _ in 0..1 + r.next_index(4) {
+                mutate_chain(&mut g, &mut r, &mut next_id);
+            }
+            check_engine(&mut engine, &mut g, &mut r);
+        }
+    }
+}
+
+/// Bursts longer than the graph's event-log capacity force the
+/// overflow → full-rebuild path; the engine must come back bit-exact.
+#[test]
+fn engine_matches_recompute_across_event_log_overflow() {
+    for case in 0..8 {
+        let mut r = Rng::new(case, 12);
+        let mut g = Wtpg::new();
+        let mut engine = ChainEngine::new();
+        let mut next_id = 0u64;
+        for _ in 0..4 {
+            // 300 mutations per burst: well past the 256-event log cap.
+            for _ in 0..300 {
+                mutate_chain(&mut g, &mut r, &mut next_id);
+            }
+            check_engine(&mut engine, &mut g, &mut r);
+        }
+    }
+}
+
+/// A random general (not chain-form) graph whose decided subgraph is
+/// acyclic: edges appear with probability ~1/3 and are oriented — when
+/// decided — along ascending id, i.e. along a topological order.
+fn gen_general(r: &mut Rng, decide_prob_in_4: usize) -> (Wtpg, usize) {
+    let n = 3 + r.next_index(8);
+    let mut g = Wtpg::new();
+    for i in 0..n {
+        g.add_txn(t(i as u64), r.next_f64() * 10.0);
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if r.next_index(3) == 0 {
+                let (a, b) = (t(i as u64), t(j as u64));
+                g.declare_conflict(a, b, r.next_f64() * 10.0, r.next_f64() * 10.0);
+                if r.next_index(4) < decide_prob_in_4 {
+                    g.set_precedence(a, b);
+                }
+            }
+        }
+    }
+    (g, n)
+}
+
+/// `eval_grant_with` (reused trial graph + reachability probes) must
+/// return the exact same E-value as the allocating `eval_grant` on
+/// LOW-shaped inputs: a grantee's undecided conflicts oriented away
+/// from it, on top of an acyclic decided subgraph.
+#[test]
+fn eval_grant_with_matches_allocating_eval() {
+    let mut scratch = EqScratch::new();
+    for case in 0..CASES {
+        let mut r = Rng::new(case, 13);
+        let (g, n) = gen_general(&mut r, 2);
+        let who = t(r.next_index(n) as u64);
+        let mut orientations: Vec<(TxnId, TxnId)> = undecided_pairs(&g)
+            .into_iter()
+            .filter(|k| k.lo == who || k.hi == who)
+            .map(|k| (who, k.other(who)))
+            .collect();
+        orientations.truncate(1 + r.next_index(3));
+        let alloc = eval_grant(&g, &orientations);
+        let reused = eval_grant_with(&mut scratch, &g, &orientations);
+        assert_eq!(
+            alloc.to_bits(),
+            reused.to_bits(),
+            "case {case}: eval_grant={alloc} eval_grant_with={reused}"
+        );
+    }
+}
+
+/// The reusable `paths::Scratch` traversals must agree with the free
+/// functions on arbitrary (possibly cyclic) precedence graphs, with one
+/// scratch instance reused across every case to surface stale state.
+#[test]
+fn scratch_traversals_match_free_functions() {
+    let mut ps = paths::Scratch::new();
+    for case in 0..CASES {
+        let mut r = Rng::new(case, 14);
+        let n = 3 + r.next_index(8);
+        let mut g = Wtpg::new();
+        for i in 0..n {
+            g.add_txn(t(i as u64), r.next_f64() * 10.0);
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if r.next_index(3) == 0 {
+                    let (a, b) = (t(i as u64), t(j as u64));
+                    g.declare_conflict(a, b, r.next_f64() * 10.0, r.next_f64() * 10.0);
+                    // Random direction: cycles are possible and wanted.
+                    match r.next_index(3) {
+                        0 => {
+                            g.set_precedence(a, b);
+                        }
+                        1 => {
+                            g.set_precedence(b, a);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(ps.has_cycle(&g), has_cycle(&g), "case {case}");
+        for _ in 0..10 {
+            let a = t(r.next_index(n) as u64);
+            let b = t(r.next_index(n) as u64);
+            if a == b {
+                continue;
+            }
+            assert_eq!(
+                ps.reachable(&g, a, b),
+                reachable(&g, a, b),
+                "case {case}: {a:?} ⇝ {b:?}"
+            );
+        }
+        let mut g_free = g.clone();
+        let mut g_scratch = g.clone();
+        let res_free = propagate(&mut g_free);
+        let res_scratch = ps.propagate(&mut g_scratch);
+        match (res_free, res_scratch) {
+            (Ok(()), Ok(())) => assert!(g_free == g_scratch, "case {case}: graphs diverge"),
+            (Err(a), Err(b)) => assert_eq!(a.pair, b.pair, "case {case}"),
+            (a, b) => panic!("case {case}: propagate outcomes diverge: {a:?} vs {b:?}"),
+        }
+    }
+}

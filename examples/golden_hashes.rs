@@ -1,0 +1,33 @@
+//! Print the FNV-1a hash of every quick-mode artifact rendering.
+//!
+//! Used to (re)generate the golden hashes pinned by
+//! `tests/parallel_determinism.rs`: the scheduler hot-path optimizations
+//! must reproduce the seed engine's outputs byte-for-byte, so the hashes
+//! printed here are checked in and asserted against on every run.
+//!
+//! ```text
+//! cargo run --release --example golden_hashes
+//! ```
+
+use batchsched::experiments::{run_artifact_with, ExpOptions, ARTIFACT_IDS};
+use batchsched::parallel::ExecCtx;
+
+/// FNV-1a 64-bit, dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let opts = ExpOptions::quick();
+    let ctx = ExecCtx::new(ExpOptions::default().jobs.max(1));
+    for id in ARTIFACT_IDS {
+        let artifact = run_artifact_with(id, &opts, &ctx);
+        let rendered = artifact.table.render();
+        println!("(\"{id}\", 0x{:016x}),", fnv1a(rendered.as_bytes()));
+    }
+}

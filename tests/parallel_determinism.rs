@@ -15,6 +15,35 @@ use batchsched::sim::Simulator;
 use batchsched::trace::{chrome_trace, Analysis};
 use bds_sched::SchedulerKind;
 
+/// FNV-1a 64-bit, dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes of every quick-mode artifact rendering produced by the *seed*
+/// engine, before the arena/incremental-engine optimizations landed.
+/// The hot-path work is required to be a pure performance change, so
+/// these are frozen; regenerate with
+/// `cargo run --release --example golden_hashes` only when an
+/// intentional output change is made.
+const GOLDEN: [(&str, u64); 10] = [
+    ("fig8", 0xcd26cd3df8091310),
+    ("table2", 0xd134324c420ce3ed),
+    ("fig9", 0xfbd69094188e993c),
+    ("table3", 0x1a35c8cc818750e6),
+    ("fig10", 0xb032eaca38824799),
+    ("fig11", 0x9d893e80b4cca078),
+    ("table4", 0x073f6876f26412f9),
+    ("fig12", 0xda21eafa3dd26982),
+    ("fig13", 0x54ecc37c9d5d5325),
+    ("table5", 0xf2c13016c980e8ea),
+];
+
 #[test]
 fn artifacts_identical_at_jobs_1_and_jobs_8() {
     let opts = ExpOptions::quick();
@@ -22,7 +51,7 @@ fn artifacts_identical_at_jobs_1_and_jobs_8() {
     // repro binary, so later artifacts replay earlier cells from cache.
     let serial = ExecCtx::new(1);
     let parallel = ExecCtx::new(8);
-    for id in ARTIFACT_IDS {
+    for (i, id) in ARTIFACT_IDS.iter().enumerate() {
         let a = experiments::run_artifact_with(id, &opts, &serial);
         let b = experiments::run_artifact_with(id, &opts, &parallel);
         let ra = a.table.render();
@@ -30,6 +59,15 @@ fn artifacts_identical_at_jobs_1_and_jobs_8() {
         assert_eq!(
             ra, rb,
             "artifact '{id}' differs between --jobs 1 and --jobs 8"
+        );
+        // The output must also be byte-identical to the pre-optimization
+        // engine: the hot-path rewrite may not change a single decision.
+        let (gid, want) = GOLDEN[i];
+        assert_eq!(gid, *id, "golden table out of sync with ARTIFACT_IDS");
+        assert_eq!(
+            fnv1a(ra.as_bytes()),
+            want,
+            "artifact '{id}' diverged from the seed engine's output"
         );
     }
     // Both contexts must have simulated the same set of distinct points.
