@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv] [--jobs N] [--trace DIR] [artifact...]
+//! repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR] [artifact...]
 //! ```
 //!
 //! With no artifact arguments, every table and figure is regenerated in
@@ -20,12 +20,23 @@
 //! Perfetto / `chrome://tracing`) and a span-summary JSON
 //! (`fig8_<sched>.spans.json`) into DIR.
 //!
+//! `--metrics DIR` re-runs the same high-contention Fig. 8 point per
+//! paper scheduler with the time-series sampler on (Δt = 5 s) and
+//! writes, per scheduler, a Prometheus text exposition
+//! (`fig8_<sched>.prom`), a column-oriented JSON document
+//! (`fig8_<sched>.metrics.json`) and the sampled series as CSV
+//! (`fig8_<sched>.timeseries.csv`), plus one cross-scheduler
+//! `fig8_percentiles.csv` with the log-bucketed response-time
+//! percentiles.
+//!
 //! Per-artifact wall-clock timings, simulator-invocation counts,
 //! cache-hit counts, per-scheduler wall-clock timings of a fixed
 //! high-contention point (the `"schedulers"` array), and the measured
 //! tracing overhead (both with the ring recorder on and for the
 //! disabled no-op path) are written as machine-readable JSON to
-//! `BENCH_repro.json` in the working directory.
+//! `BENCH_repro.json` in the working directory. When a committed
+//! `BENCH_baseline.json` is present there, a one-line delta against it
+//! is printed (the same comparison `benchdiff` gates CI with).
 
 use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::time::SimTime;
@@ -36,12 +47,15 @@ use batchsched::parallel::ExecCtx;
 use batchsched::sim::Simulator;
 use batchsched::trace::{chrome_trace, Analysis, EventKind, Rec, Tracer};
 use batchsched::wtpg::TxnId;
+use bds_metrics::{jsonv, PromText, Tolerances};
 use bds_sched::SchedulerKind;
 use std::time::Instant;
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro [--quick] [--csv] [--jobs N] [--trace DIR] [artifact...]");
+    eprintln!(
+        "usage: repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR] [artifact...]"
+    );
     std::process::exit(2);
 }
 
@@ -98,6 +112,165 @@ fn write_trace_exports(dir: &str, opts: &ExpOptions) {
             report.completed
         );
     }
+}
+
+/// Run the metrics-sampled Fig. 8 point for every paper scheduler and
+/// write the Prometheus / JSON / CSV exports into `dir`.
+fn write_metrics_exports(dir: &str, opts: &ExpOptions) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: could not create metrics dir '{dir}': {e}");
+        std::process::exit(1);
+    }
+    let dt = Duration::from_secs(5);
+    let mut pct_csv = String::from("scheduler,completed,mean_rt_secs,p50_secs,p90_secs,p99_secs\n");
+    for kind in SchedulerKind::PAPER_SET {
+        let cfg = traced_point(kind, opts);
+        let mut sim = Simulator::new(&cfg);
+        sim.set_metrics_interval(dt);
+        sim.run_to_horizon();
+        let report = sim.report();
+        let series = sim.take_metrics().expect("sampler was installed");
+        let hist = sim.rt_histogram();
+        let label = kind
+            .label()
+            .to_lowercase()
+            .replace("(k=", "_k")
+            .replace(')', "");
+
+        let mut prom = PromText::new();
+        let labels: &[(&str, &str)] = &[("scheduler", &report.scheduler)];
+        prom.counter(
+            "bds_txns_arrived_total",
+            "Transactions arrived.",
+            labels,
+            report.arrived,
+        );
+        prom.counter(
+            "bds_txns_committed_total",
+            "Transactions committed.",
+            labels,
+            report.completed,
+        );
+        prom.counter(
+            "bds_txns_restarted_total",
+            "Transaction restarts.",
+            labels,
+            report.restarts,
+        );
+        prom.counter(
+            "bds_lock_requests_total",
+            "Lock requests evaluated (including retries).",
+            labels,
+            report.lock_requests,
+        );
+        prom.counter(
+            "bds_lock_requests_denied_total",
+            "Lock requests blocked or delayed at least once.",
+            labels,
+            report.requests_denied,
+        );
+        prom.gauge(
+            "bds_cn_utilization",
+            "Control-node CPU utilization over the horizon.",
+            labels,
+            report.cn_utilization,
+        );
+        prom.gauge(
+            "bds_dpn_utilization",
+            "Mean data-processing-node utilization over the horizon.",
+            labels,
+            report.dpn_utilization,
+        );
+        prom.gauge(
+            "bds_mean_live_txns",
+            "Time-averaged number of live transactions.",
+            labels,
+            report.mean_live,
+        );
+        prom.histogram(
+            "bds_rt_seconds",
+            "Response time of committed transactions.",
+            labels,
+            hist,
+        );
+        let prom_path = format!("{dir}/fig8_{label}.prom");
+        if let Err(e) = std::fs::write(&prom_path, prom.finish()) {
+            eprintln!("error: could not write {prom_path}: {e}");
+            std::process::exit(1);
+        }
+
+        let mut o = JsonObj::new();
+        o.raw("report", &report.to_json());
+        o.raw("series", &series.to_json());
+        let json_path = format!("{dir}/fig8_{label}.metrics.json");
+        if let Err(e) = std::fs::write(&json_path, format!("{}\n", o.finish())) {
+            eprintln!("error: could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+
+        let csv_path = format!("{dir}/fig8_{label}.timeseries.csv");
+        if let Err(e) = std::fs::write(&csv_path, series.to_csv()) {
+            eprintln!("error: could not write {csv_path}: {e}");
+            std::process::exit(1);
+        }
+
+        pct_csv.push_str(&format!(
+            "{},{},{:.4},{},{},{}\n",
+            report.scheduler,
+            report.completed,
+            report.mean_rt_secs(),
+            fmt_opt(report.rt_p50_secs),
+            fmt_opt(report.rt_p90_secs),
+            fmt_opt(report.rt_p99_secs),
+        ));
+        eprintln!(
+            "[metrics {label}: {} samples x {} columns -> {prom_path}, {json_path}, {csv_path}]",
+            series.len(),
+            series.width()
+        );
+    }
+    let pct_path = format!("{dir}/fig8_percentiles.csv");
+    if let Err(e) = std::fs::write(&pct_path, pct_csv) {
+        eprintln!("error: could not write {pct_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[metrics percentiles -> {pct_path}]");
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.4}"),
+        None => "nan".into(),
+    }
+}
+
+/// Print a one-line delta of this run's `BENCH_repro.json` against the
+/// committed `BENCH_baseline.json`, when one exists. Informational only
+/// — the hard gate is the `benchdiff` CLI in CI.
+fn print_baseline_delta(current_json: &str) {
+    let Ok(base_text) = std::fs::read_to_string("BENCH_baseline.json") else {
+        eprintln!("[no BENCH_baseline.json here; skipping baseline delta]");
+        return;
+    };
+    let (base, cur) = match (jsonv::parse(&base_text), jsonv::parse(current_json)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) => {
+            eprintln!("[baseline delta skipped: BENCH_baseline.json unparsable: {e}]");
+            return;
+        }
+        (_, Err(e)) => {
+            eprintln!("[baseline delta skipped: current bench JSON unparsable: {e}]");
+            return;
+        }
+    };
+    // Generous time tolerance: this line is printed on arbitrary dev
+    // machines; the CI gate picks its own threshold.
+    let tol = Tolerances {
+        time_rel: 3.0,
+        ..Tolerances::default()
+    };
+    let diff = bds_metrics::compare(&base, &cur, &tol);
+    eprintln!("[vs BENCH_baseline.json: {}]", diff.summary_line());
 }
 
 /// Measure tracing overhead on a short fixed C2PL point: wall time with
@@ -182,6 +355,7 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let mut jobs = default_jobs();
     let mut trace_dir: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -192,6 +366,12 @@ fn main() {
                     usage_exit("--trace requires a directory");
                 };
                 trace_dir = Some(d);
+            }
+            "--metrics" => {
+                let Some(d) = it.next() else {
+                    usage_exit("--metrics requires a directory");
+                };
+                metrics_dir = Some(d);
             }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
@@ -268,6 +448,9 @@ fn main() {
     if let Some(dir) = &trace_dir {
         write_trace_exports(dir, &opts);
     }
+    if let Some(dir) = &metrics_dir {
+        write_metrics_exports(dir, &opts);
+    }
     let mut bench = JsonObj::new();
     bench.str("bin", "repro");
     measure_trace_overhead(&mut bench);
@@ -287,4 +470,5 @@ fn main() {
     } else {
         eprintln!("wrote BENCH_repro.json");
     }
+    print_baseline_delta(&json);
 }

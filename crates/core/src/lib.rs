@@ -21,6 +21,10 @@
 //! * [`experiments`] — one entry point per paper artifact (Fig. 8–13,
 //!   Tables 2–5), and [`ablations`] — sweeps of the design knobs plus a
 //!   wait-depth-limited extension scheduler.
+//! * [`telemetry`] (the `bds-metrics` crate) — sim-time series sampling
+//!   ([`sim::Simulator::run_with_metrics`]), the log-bucketed
+//!   response-time histogram behind `rt_p50/p90/p99`, Prometheus/CSV/
+//!   JSON exporters, and the `benchdiff` bench regression gate.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,7 @@ pub use sim::Simulator;
 // dependency.
 pub use bds_des as des;
 pub use bds_machine as machine;
+pub use bds_metrics as telemetry;
 pub use bds_sched as sched;
 pub use bds_trace as trace;
 pub use bds_workload as workload;

@@ -31,6 +31,7 @@ use bds_des::stats::{Histogram, TimeWeighted, Welford};
 use bds_des::time::{Duration, SimTime};
 use bds_des::EventQueue;
 use bds_machine::{Cohort, CohortId, Dpn, Placement};
+use bds_metrics::{LogHistogram, Sampler, TimeSeries};
 use bds_sched::{ReqDecision, Scheduler, StartDecision};
 use bds_trace::{EventKind, Rec, TraceData, Tracer};
 use bds_workload::arrivals::PoissonArrivals;
@@ -129,6 +130,53 @@ pub struct Simulator {
     /// (`cache_key` hashes the config), and tracing must never perturb
     /// the simulation itself.
     tracer: Tracer,
+    /// Log-bucketed response-time histogram (sub-second percentiles).
+    rt_log: LogHistogram,
+    /// Time-series sampler. Like the tracer it lives off-config and only
+    /// observes: with sampling off this costs one branch per event.
+    metrics: Sampler,
+    /// Counter/busy-time snapshot at the previous metrics sample, for
+    /// per-window rates and utilizations.
+    metrics_prev: PrevSample,
+}
+
+/// Snapshot of cumulative quantities at the last metrics grid point.
+#[derive(Debug, Clone, Default)]
+struct PrevSample {
+    at_ms: u64,
+    arrived: u64,
+    completed: u64,
+    restarts: u64,
+    denied: u64,
+    lock_requests: u64,
+    cn_busy_ms: f64,
+    dpn_busy_ms: Vec<f64>,
+}
+
+/// Column names of the metrics time series, in row order.
+fn metric_columns(num_nodes: u32) -> Vec<String> {
+    let mut names: Vec<String> = [
+        "mpl_live",
+        "start_queue",
+        "cn_util",
+        "cn_backlog_secs",
+        "locks_held",
+        "wtpg_nodes",
+        "wtpg_edges",
+        "arrivals_ps",
+        "commits_ps",
+        "restarts_ps",
+        "denied_ps",
+        "lock_reqs_ps",
+        "dpn_util",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for n in 0..num_nodes {
+        names.push(format!("dpn{n}_util"));
+    }
+    names
 }
 
 impl Simulator {
@@ -185,6 +233,9 @@ impl Simulator {
             released_buf: Vec::new(),
             eligible_buf: Vec::new(),
             tracer: Tracer::Off,
+            rt_log: LogHistogram::new(),
+            metrics: Sampler::Off,
+            metrics_prev: PrevSample::default(),
             cfg: cfg.clone(),
         }
     }
@@ -209,10 +260,48 @@ impl Simulator {
         (report, data)
     }
 
+    /// Run with time-series sampling every `dt` of simulated time,
+    /// returning the report and the sampled series. The report is
+    /// byte-identical to an unsampled [`Simulator::run`] of the same
+    /// configuration — sampling only observes.
+    pub fn run_with_metrics(cfg: &SimConfig, dt: Duration) -> (SimReport, TimeSeries) {
+        let mut sim = Simulator::new(cfg);
+        sim.set_metrics_interval(dt);
+        sim.run_to_horizon();
+        let report = sim.report();
+        let series = sim.take_metrics().expect("sampler was installed");
+        (report, series)
+    }
+
     /// Install a tracer (replace any previous one). Call before
     /// [`Simulator::run_to_horizon`] to capture the whole run.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Enable metrics sampling at the given simulated-time interval
+    /// (replace any previous sampler). Call before
+    /// [`Simulator::run_to_horizon`].
+    pub fn set_metrics_interval(&mut self, dt: Duration) {
+        let names = metric_columns(self.cfg.costs.num_nodes);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.metrics = Sampler::every_ms(dt.as_millis(), &refs);
+        self.metrics_prev = PrevSample {
+            dpn_busy_ms: vec![0.0; self.cfg.costs.num_nodes as usize],
+            ..PrevSample::default()
+        };
+    }
+
+    /// Detach the sampler and return the series (`None` when sampling
+    /// was off).
+    pub fn take_metrics(&mut self) -> Option<TimeSeries> {
+        std::mem::take(&mut self.metrics).finish()
+    }
+
+    /// The log-bucketed response-time histogram over committed
+    /// transactions (exporters render its buckets directly).
+    pub fn rt_histogram(&self) -> &LogHistogram {
+        &self.rt_log
     }
 
     /// Detach the tracer and return its captured data (`None` when
@@ -228,8 +317,92 @@ impl Simulator {
             if t > horizon {
                 break;
             }
+            // State is piecewise constant between events, so sampling
+            // the pre-event state covers every grid point up to `t`
+            // exactly. One predictable branch when sampling is off.
+            if self.metrics.due(t) {
+                self.sample_metrics(t);
+            }
             let scheduled = self.events.pop().expect("peeked event vanished");
             self.handle(scheduled.event);
+        }
+        // Fill the grid to the horizon so the series spans the whole
+        // run even when the event queue drains early.
+        if self.metrics.due(horizon) {
+            self.sample_metrics(horizon);
+        }
+    }
+
+    /// Record one row per unsampled grid point `≤ upto` (the state seen
+    /// is the one in force since the last processed event).
+    fn sample_metrics(&mut self, upto: SimTime) {
+        let mpl = self.scheduler.live_count() as f64;
+        let start_q = self.start_queue.len() as f64;
+        let tel = self.scheduler.telemetry();
+        let upto_ms = upto.as_millis();
+        let Some(s) = self.metrics.active() else {
+            return;
+        };
+        while s.next_ms() <= upto_ms {
+            let at = SimTime::from_millis(s.next_ms());
+            let at_ms = s.next_ms() as f64;
+            let prev = &mut self.metrics_prev;
+            let window_ms = (s.next_ms() - prev.at_ms) as f64;
+            let window_secs = window_ms / 1000.0;
+            // Busy-time deltas: utilization(at) integrates the busy step
+            // function over [0, at], so util·at is cumulative busy time.
+            // Clamped: the reconstruction wobbles by a few ulps.
+            let cn_busy = self.cn.utilization(at) * at_ms;
+            let cn_util = ((cn_busy - prev.cn_busy_ms) / window_ms).clamp(0.0, 1.0);
+            let cn_backlog = self.cn.free_at().saturating_since(at).as_secs_f64();
+            let mut dpn_sum = 0.0;
+            let mut dpn_row = Vec::with_capacity(self.dpns.len());
+            for (n, d) in self.dpns.iter().enumerate() {
+                let busy = d.utilization(at) * at_ms;
+                let u = ((busy - prev.dpn_busy_ms[n]) / window_ms).clamp(0.0, 1.0);
+                prev.dpn_busy_ms[n] = busy;
+                dpn_sum += u;
+                dpn_row.push(u);
+            }
+            s.row.clear();
+            s.row.push(mpl);
+            s.row.push(start_q);
+            s.row.push(cn_util);
+            s.row.push(cn_backlog);
+            s.row.push(tel.locks_held as f64);
+            s.row.push(tel.wtpg_nodes as f64);
+            s.row.push(tel.wtpg_edges as f64);
+            s.row
+                .push((self.arrived - prev.arrived) as f64 / window_secs);
+            s.row
+                .push((self.completed - prev.completed) as f64 / window_secs);
+            s.row
+                .push((self.restarts - prev.restarts) as f64 / window_secs);
+            s.row
+                .push((self.requests_denied - prev.denied) as f64 / window_secs);
+            s.row
+                .push((self.lock_requests - prev.lock_requests) as f64 / window_secs);
+            s.row.push(dpn_sum / self.dpns.len() as f64);
+            s.row.extend_from_slice(&dpn_row);
+            prev.at_ms = s.next_ms();
+            prev.arrived = self.arrived;
+            prev.completed = self.completed;
+            prev.restarts = self.restarts;
+            prev.denied = self.requests_denied;
+            prev.lock_requests = self.lock_requests;
+            prev.cn_busy_ms = cn_busy;
+            s.commit_row();
+        }
+    }
+
+    /// Response-time quantile from the active percentile engine: the
+    /// log-bucketed histogram (≤ 1 % relative error) by default, or the
+    /// legacy 1-second-bin histogram under the compatibility flag.
+    fn rt_quantile(&self, q: f64) -> Option<f64> {
+        if self.cfg.legacy_second_bin_percentiles {
+            self.rt_hist.quantile(q)
+        } else {
+            self.rt_log.quantile(q)
         }
     }
 
@@ -255,9 +428,9 @@ impl Simulator {
             cn_utilization: self.cn.utilization(horizon),
             dpn_utilization: dpn_util,
             mean_live: self.live.average(horizon),
-            rt_p50_secs: self.rt_hist.quantile(0.50),
-            rt_p90_secs: self.rt_hist.quantile(0.90),
-            rt_p99_secs: self.rt_hist.quantile(0.99),
+            rt_p50_secs: self.rt_quantile(0.50),
+            rt_p90_secs: self.rt_quantile(0.90),
+            rt_p99_secs: self.rt_quantile(0.99),
             queued_at_end: self.start_queue.len() as u64,
             events: self.events.events_processed(),
             lock_requests: self.lock_requests,
@@ -763,6 +936,7 @@ impl Simulator {
             let rt_secs = now.since(txn.arrival).as_secs_f64();
             self.rt.push(rt_secs);
             self.rt_hist.record(rt_secs);
+            self.rt_log.record_secs(rt_secs);
             // Files the committed transaction touched (declared), even
             // if the scheduler held no lock on them (OPT): their
             // contention state changed.

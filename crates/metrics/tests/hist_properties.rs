@@ -1,0 +1,124 @@
+//! Seeded-fuzz property tests for [`bds_metrics::LogHistogram`] against
+//! a sorted-vector oracle: record/merge/quantile must agree with exact
+//! order statistics to within the documented error bound, across many
+//! value distributions, and merge must be exactly equivalent to
+//! recording the concatenated stream.
+
+use bds_des::rng::Xoshiro256;
+use bds_metrics::{LogHistogram, REL_ERROR, TICKS_PER_SEC};
+
+/// Draw a tick value from one of several shapes so buckets across the
+/// whole dynamic range get exercised.
+fn draw(rng: &mut Xoshiro256) -> u64 {
+    match rng.next_range(4) {
+        // Linear range: exact unit buckets.
+        0 => rng.next_range(128),
+        // Small multi-octave values.
+        1 => rng.next_range(100_000),
+        // Seconds-scale response times (the simulator's regime).
+        2 => 1_000_000 + rng.next_range(30_000_000),
+        // Heavy tail across many octaves.
+        _ => {
+            let shift = rng.next_range(50) as u32;
+            rng.next_range(1 << 12) << shift
+        }
+    }
+}
+
+/// Exact `q`-quantile of a sorted tick vector, mirroring the histogram's
+/// rank rule: the value at rank `ceil(q * n)` (1-based, min 1).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil().max(1.0) as usize).min(n);
+    sorted[rank - 1]
+}
+
+/// Histogram quantile error vs the oracle must respect the bound:
+/// relative above the linear range, absolute (one bucket) below it.
+fn assert_close(h: &LogHistogram, sorted: &[u64], q: f64, seed: u64) {
+    let est_ticks = h.quantile(q).unwrap() * TICKS_PER_SEC;
+    let exact = oracle_quantile(sorted, q) as f64;
+    let tol = (exact * REL_ERROR).max(1.0);
+    assert!(
+        (est_ticks - exact).abs() <= tol,
+        "seed {seed} q {q}: est {est_ticks} vs exact {exact} (tol {tol})"
+    );
+}
+
+#[test]
+fn quantiles_match_sorted_vec_oracle() {
+    for seed in 0..40u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let n = 1 + rng.next_range(3000) as usize;
+        let mut h = LogHistogram::new();
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = draw(&mut rng);
+            h.record_ticks(v);
+            vals.push(v);
+        }
+        vals.sort_unstable();
+        assert_eq!(h.total(), n as u64);
+        assert_eq!(h.min_secs().unwrap(), vals[0] as f64 / TICKS_PER_SEC);
+        assert_eq!(
+            h.max_secs().unwrap(),
+            *vals.last().unwrap() as f64 / TICKS_PER_SEC
+        );
+        let exact_mean =
+            vals.iter().map(|&v| v as u128).sum::<u128>() as f64 / n as f64 / TICKS_PER_SEC;
+        assert!((h.mean_secs() - exact_mean).abs() <= exact_mean * 1e-12 + 1e-12);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_close(&h, &vals, q, seed);
+        }
+    }
+}
+
+#[test]
+fn merge_equals_concatenated_stream() {
+    for seed in 100..130u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let n = rng.next_range(2000) as usize;
+        let parts = 1 + rng.next_range(7) as usize;
+        let mut whole = LogHistogram::new();
+        let mut shards = vec![LogHistogram::new(); parts];
+        for _ in 0..n {
+            let v = draw(&mut rng);
+            whole.record_ticks(v);
+            shards[rng.next_index(parts)].record_ticks(v);
+        }
+        // Merge in a rotated order to show order-independence too.
+        let start = rng.next_index(parts);
+        let mut merged = LogHistogram::new();
+        for i in 0..parts {
+            merged.merge(&shards[(start + i) % parts]);
+        }
+        assert_eq!(merged, whole, "seed {seed}: merge must be exact");
+    }
+}
+
+#[test]
+fn merging_empty_is_identity() {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let mut h = LogHistogram::new();
+    for _ in 0..100 {
+        h.record_ticks(draw(&mut rng));
+    }
+    let before = h.clone();
+    h.merge(&LogHistogram::new());
+    assert_eq!(h, before);
+    let mut empty = LogHistogram::new();
+    empty.merge(&before);
+    assert_eq!(empty, before);
+}
+
+#[test]
+fn quantile_is_monotone_in_q() {
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let mut h = LogHistogram::new();
+    for _ in 0..5000 {
+        h.record_ticks(draw(&mut rng));
+    }
+    let qs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+    let ests: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+    assert!(ests.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -9,7 +9,7 @@
 //! fails — Table 4 shows ASL worst on the hot-set workload).
 
 use crate::lock_table::LockTable;
-use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use crate::{Outcome, ReqDecision, SchedTelemetry, Scheduler, StartDecision};
 use bds_workload::{BatchSpec, FileId};
 use bds_wtpg::TxnId;
 use std::collections::BTreeMap;
@@ -117,6 +117,13 @@ impl Scheduler for Asl {
 
     fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
         std::mem::take(&mut self.constraints)
+    }
+
+    fn telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry {
+            locks_held: self.table.total_locks(),
+            ..SchedTelemetry::default()
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::lock_table::LockTable;
 use crate::wtpg_core::WtpgCore;
-use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use crate::{Outcome, ReqDecision, SchedTelemetry, Scheduler, StartDecision};
 use bds_des::time::Duration;
 use bds_workload::{BatchSpec, FileId};
 use bds_wtpg::chain;
@@ -164,6 +164,14 @@ impl Scheduler for Gow {
 
     fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
         self.core.drain_constraints()
+    }
+
+    fn telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry {
+            locks_held: self.table.total_locks(),
+            wtpg_nodes: self.core.graph.len(),
+            wtpg_edges: self.core.graph.edges().count(),
+        }
     }
 }
 

@@ -106,6 +106,19 @@ impl<D> Outcome<D> {
     }
 }
 
+/// A cheap snapshot of scheduler-internal state, sampled by the metrics
+/// subsystem at its Δt grid points (never on the per-event hot path, so
+/// an O(edges) walk is acceptable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedTelemetry {
+    /// File locks currently held across all live transactions.
+    pub locks_held: usize,
+    /// Transactions tracked in the WTPG (0 for non-WTPG schedulers).
+    pub wtpg_nodes: usize,
+    /// Undirected pair edges in the WTPG (0 for non-WTPG schedulers).
+    pub wtpg_edges: usize,
+}
+
 /// The scheduler interface driven by the simulator.
 ///
 /// Lifecycle per transaction:
@@ -167,6 +180,12 @@ pub trait Scheduler: Send {
     /// by serializability tests. Default: none recorded.
     fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
         Vec::new()
+    }
+
+    /// Snapshot internal occupancy for the metrics sampler. The default
+    /// reports zeros (suitable for schedulers with no lock table).
+    fn telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry::default()
     }
 }
 

@@ -16,7 +16,7 @@
 //! chains (requirement 1).
 
 use crate::lock_table::LockTable;
-use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
+use crate::{Outcome, ReqDecision, SchedTelemetry, Scheduler, StartDecision};
 use bds_des::time::Duration;
 use bds_workload::{BatchSpec, FileId};
 use bds_wtpg::TxnId;
@@ -122,6 +122,13 @@ impl Scheduler for Wdl {
 
     fn live_count(&self) -> usize {
         self.live.len()
+    }
+
+    fn telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry {
+            locks_held: self.table.total_locks(),
+            ..SchedTelemetry::default()
+        }
     }
 }
 

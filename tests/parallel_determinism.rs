@@ -106,3 +106,44 @@ fn traced_exports_identical_at_jobs_1_and_jobs_8() {
         );
     }
 }
+
+/// Metrics exports join the determinism contract: a sampled run's report
+/// JSON, CSV time series and column JSON must be byte-identical whether
+/// one worker or eight execute the batch — and the report must match the
+/// unsampled run of the same cell.
+#[test]
+fn metrics_exports_identical_at_jobs_1_and_jobs_8() {
+    let cells: Vec<SimConfig> = SchedulerKind::PAPER_SET
+        .iter()
+        .map(|&kind| {
+            let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+            c.lambda_tps = 1.1;
+            c.horizon = Duration::from_secs(200);
+            c
+        })
+        .collect();
+    let render = |jobs: usize| -> Vec<[String; 3]> {
+        map_jobs(&cells, jobs, |_, cfg| {
+            let (report, series) = Simulator::run_with_metrics(cfg, Duration::from_secs(5));
+            [report.to_json(), series.to_csv(), series.to_json()]
+        })
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "metrics exports for {} differ between --jobs 1 and --jobs 8",
+            SchedulerKind::PAPER_SET[i]
+        );
+        // Sampling must not perturb the report itself.
+        let plain = Simulator::run(&cells[i]);
+        assert_eq!(
+            plain.to_json(),
+            a[0],
+            "sampling changed the report for {}",
+            SchedulerKind::PAPER_SET[i]
+        );
+    }
+}
