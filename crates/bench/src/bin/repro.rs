@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR] [artifact...]
+//! repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR]
+//!       [--faults PLAN] [artifact...]
 //! ```
 //!
 //! With no artifact arguments, every table and figure is regenerated in
@@ -29,6 +30,17 @@
 //! `fig8_percentiles.csv` with the log-bucketed response-time
 //! percentiles.
 //!
+//! `--faults PLAN` switches to chaos mode: instead of the paper
+//! artifacts, the high-contention Fig. 8 point is run per paper
+//! scheduler under the given fault plan (the `FaultPlan::parse` DSL,
+//! e.g. `crash=1@40x20,retry=1000:8000:4` or `mtbf=120,mttr=15`) and a
+//! per-scheduler availability / throughput-under-failure table is
+//! printed. Combined with `--metrics DIR`, each chaos cell's report +
+//! sampled time series are written through the ordinary metrics
+//! JSON/CSV path (`chaos_<sched>.metrics.json`,
+//! `chaos_<sched>.timeseries.csv`, plus one `chaos_summary.csv`). The
+//! whole table is deterministic in (seed, plan).
+//!
 //! Per-artifact wall-clock timings, simulator-invocation counts,
 //! cache-hit counts, per-scheduler wall-clock timings of a fixed
 //! high-contention point (the `"schedulers"` array), and the measured
@@ -42,6 +54,7 @@ use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::time::SimTime;
 use batchsched::des::Duration;
 use batchsched::experiments::{default_jobs, run_artifact_with, ExpOptions, ARTIFACT_IDS};
+use batchsched::fault::FaultPlan;
 use batchsched::metrics::JsonObj;
 use batchsched::parallel::ExecCtx;
 use batchsched::sim::Simulator;
@@ -54,9 +67,111 @@ use std::time::Instant;
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR] [artifact...]"
+        "usage: repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR] \
+         [--faults PLAN] [artifact...]"
     );
     std::process::exit(2);
+}
+
+/// Chaos mode: run the high-contention Fig. 8 point per paper scheduler
+/// under `plan` and print the availability / throughput-under-failure
+/// table. With a metrics dir, export each cell's report and sampled
+/// series through the ordinary metrics JSON/CSV path.
+fn run_chaos(plan: &FaultPlan, opts: &ExpOptions, csv: bool, metrics_dir: Option<&str>) {
+    if let Some(dir) = metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create metrics dir '{dir}': {e}");
+            std::process::exit(1);
+        }
+    }
+    let header =
+        "scheduler,completed,killed,fault_aborts,throughput_tps,availability,downtime_secs";
+    let mut summary = format!("{header}\n");
+    if csv {
+        println!("{header}");
+    } else {
+        println!(
+            "{:<10} {:>9} {:>7} {:>12} {:>10} {:>12} {:>9}",
+            "scheduler",
+            "committed",
+            "killed",
+            "fault-aborts",
+            "tput(tps)",
+            "availability",
+            "down(s)"
+        );
+    }
+    for kind in SchedulerKind::PAPER_SET {
+        let cfg = traced_point(kind, opts).with_faults(plan.clone());
+        let mut sim = Simulator::new(&cfg);
+        sim.set_metrics_interval(Duration::from_secs(5));
+        sim.run_to_horizon();
+        let report = sim.report();
+        let series = sim.take_metrics().expect("sampler was installed");
+        let tput = report.completed as f64 / report.horizon_secs;
+        summary.push_str(&format!(
+            "{},{},{},{},{:.4},{:.6},{:.1}\n",
+            report.scheduler,
+            report.completed,
+            report.killed,
+            report.aborts_fault,
+            tput,
+            report.availability,
+            report.downtime_secs
+        ));
+        if csv {
+            println!(
+                "{},{},{},{},{:.4},{:.6},{:.1}",
+                report.scheduler,
+                report.completed,
+                report.killed,
+                report.aborts_fault,
+                tput,
+                report.availability,
+                report.downtime_secs
+            );
+        } else {
+            println!(
+                "{:<10} {:>9} {:>7} {:>12} {:>10.3} {:>12.4} {:>9.1}",
+                report.scheduler,
+                report.completed,
+                report.killed,
+                report.aborts_fault,
+                tput,
+                report.availability,
+                report.downtime_secs
+            );
+        }
+        if let Some(dir) = metrics_dir {
+            let label = kind
+                .label()
+                .to_lowercase()
+                .replace("(k=", "_k")
+                .replace(')', "");
+            let mut o = JsonObj::new();
+            o.raw("report", &report.to_json());
+            o.raw("series", &series.to_json());
+            let json_path = format!("{dir}/chaos_{label}.metrics.json");
+            if let Err(e) = std::fs::write(&json_path, format!("{}\n", o.finish())) {
+                eprintln!("error: could not write {json_path}: {e}");
+                std::process::exit(1);
+            }
+            let csv_path = format!("{dir}/chaos_{label}.timeseries.csv");
+            if let Err(e) = std::fs::write(&csv_path, series.to_csv()) {
+                eprintln!("error: could not write {csv_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[chaos {label} -> {json_path}, {csv_path}]");
+        }
+    }
+    if let Some(dir) = metrics_dir {
+        let path = format!("{dir}/chaos_summary.csv");
+        if let Err(e) = std::fs::write(&path, summary) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[chaos summary -> {path}]");
+    }
 }
 
 /// The traced Fig. 8 point: high contention, where the schedulers'
@@ -356,6 +471,7 @@ fn main() {
     let mut jobs = default_jobs();
     let mut trace_dir: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
+    let mut faults: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -372,6 +488,12 @@ fn main() {
                     usage_exit("--metrics requires a directory");
                 };
                 metrics_dir = Some(d);
+            }
+            "--faults" => {
+                let Some(p) = it.next() else {
+                    usage_exit("--faults requires a fault plan (see FaultPlan::parse)");
+                };
+                faults = Some(p);
             }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
@@ -405,6 +527,18 @@ fn main() {
     } else {
         ExpOptions::default().with_jobs(jobs)
     };
+    if let Some(spec) = &faults {
+        let plan = match FaultPlan::parse(spec) {
+            Ok(p) => p,
+            Err(e) => usage_exit(&format!("--faults: bad plan '{spec}': {e}")),
+        };
+        eprintln!(
+            "repro: chaos mode, horizon {:.0}s, plan '{spec}'",
+            opts.horizon.as_secs_f64()
+        );
+        run_chaos(&plan, &opts, csv, metrics_dir.as_deref());
+        return;
+    }
     eprintln!(
         "repro: {} artifact(s), horizon {:.0}s, {} bisection iterations, {} job(s)",
         ids.len(),

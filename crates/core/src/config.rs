@@ -2,6 +2,7 @@
 
 use bds_des::rng::Xoshiro256;
 use bds_des::time::Duration;
+use bds_fault::FaultPlan;
 use bds_machine::CostBook;
 use bds_sched::SchedulerKind;
 use bds_workload::gen::{
@@ -111,6 +112,10 @@ pub struct SimConfig {
     /// log-bucketed histogram with ≤ 1 % relative error. Off by default;
     /// exists so historical reports can be reproduced bit-for-bit.
     pub legacy_second_bin_percentiles: bool,
+    /// Fault-injection plan (DPN crashes, CN stalls, link faults). The
+    /// default is [`FaultPlan::none`], under which the simulator is
+    /// byte-identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -130,6 +135,7 @@ impl SimConfig {
             restart_delay: Duration::from_millis(1000),
             admission_scan_limit: 16,
             legacy_second_bin_percentiles: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -161,6 +167,12 @@ impl SimConfig {
     /// Builder-style mpl cap (for C2PL+M).
     pub fn with_mpl(mut self, mpl: u32) -> Self {
         self.mpl = Some(mpl);
+        self
+    }
+
+    /// Builder-style fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -289,5 +301,9 @@ mod tests {
         let mut e = d.clone();
         e.costs.num_nodes = 4;
         assert_ne!(d.cache_key(), e.cache_key());
+        let f = d
+            .clone()
+            .with_faults(FaultPlan::parse("crash=0@100x10").unwrap());
+        assert_ne!(d.cache_key(), f.cache_key());
     }
 }

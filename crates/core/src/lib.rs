@@ -62,6 +62,7 @@ pub use sim::Simulator;
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use bds_des as des;
+pub use bds_fault as fault;
 pub use bds_machine as machine;
 pub use bds_metrics as telemetry;
 pub use bds_sched as sched;

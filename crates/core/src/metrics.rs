@@ -46,6 +46,21 @@ pub struct SimReport {
     pub lock_requests: u64,
     /// Lock requests that ended blocked or delayed at least once.
     pub requests_denied: u64,
+    /// Aborts caused by OPT validation failure at commit. Together with
+    /// `aborts_scheduler` and `aborts_fault` these partition `restarts`.
+    pub aborts_validation: u64,
+    /// Aborts ordered by the scheduler (restart-oriented protocols).
+    pub aborts_scheduler: u64,
+    /// Aborts caused by injected faults (DPN crashes).
+    pub aborts_fault: u64,
+    /// Transactions dropped permanently after exhausting the fault
+    /// retry budget (0 without a fault plan).
+    pub killed: u64,
+    /// Fraction of node-time the DPNs were up over the horizon (1.0
+    /// without a fault plan).
+    pub availability: f64,
+    /// Total DPN downtime over the horizon, summed across nodes.
+    pub downtime_secs: f64,
 }
 
 impl SimReport {
@@ -98,6 +113,12 @@ impl SimReport {
         o.int("events", self.events);
         o.int("lock_requests", self.lock_requests);
         o.int("requests_denied", self.requests_denied);
+        o.int("aborts_validation", self.aborts_validation);
+        o.int("aborts_scheduler", self.aborts_scheduler);
+        o.int("aborts_fault", self.aborts_fault);
+        o.int("killed", self.killed);
+        o.num("availability", self.availability);
+        o.num("downtime_secs", self.downtime_secs);
         o.finish()
     }
 }
@@ -127,6 +148,12 @@ mod tests {
             events: 0,
             lock_requests: 0,
             requests_denied: 0,
+            aborts_validation: 0,
+            aborts_scheduler: 0,
+            aborts_fault: 0,
+            killed: 0,
+            availability: 1.0,
+            downtime_secs: 0.0,
         }
     }
 

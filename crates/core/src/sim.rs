@@ -30,6 +30,7 @@ use bds_des::fcfs::FcfsServer;
 use bds_des::stats::{Histogram, TimeWeighted, Welford};
 use bds_des::time::{Duration, SimTime};
 use bds_des::EventQueue;
+use bds_fault::{DegradedMode, FaultAction};
 use bds_machine::{Cohort, CohortId, Dpn, Placement};
 use bds_metrics::{LogHistogram, Sampler, TimeSeries};
 use bds_sched::{ReqDecision, Scheduler, StartDecision};
@@ -47,12 +48,19 @@ enum Event {
     Arrival,
     /// The CN finished a processing phase for a transaction.
     CnDone { id: TxnId, phase: Phase },
-    /// A DPN's current round-robin slice ended.
-    SliceEnd { node: u32 },
+    /// A DPN's current round-robin slice ended. `epoch` tombstones
+    /// slices scheduled before a crash of the node: a crash bumps the
+    /// node's epoch, so stale slice-ends are ignored.
+    SliceEnd { node: u32, epoch: u32 },
     /// Periodic re-submission of blocked/delayed requests.
     RetryTick,
     /// An aborted transaction re-enters the start queue.
     Restart { id: TxnId },
+    /// A fault-plan action fires (DPN crash/recovery, CN stall).
+    Fault { action: FaultAction },
+    /// A dispatch message delivers a cohort to its DPN after the link
+    /// delay (only scheduled when the fault plan models link faults).
+    CohortArrive { node: u32, cohort: Cohort },
 }
 
 /// CN processing phases.
@@ -75,6 +83,17 @@ enum WaitKind {
     Delayed,
 }
 
+/// Why a transaction attempt was aborted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AbortCause {
+    /// OPT certification failed at commit.
+    Validation,
+    /// The scheduler ordered a restart (restart-oriented protocols).
+    Scheduler,
+    /// An injected fault (DPN crash) destroyed the attempt's cohorts.
+    Fault,
+}
+
 #[derive(Debug)]
 struct PendingReq {
     id: TxnId,
@@ -91,6 +110,9 @@ struct Txn {
     step: usize,
     outstanding_cohorts: u32,
     ever_started: bool,
+    /// How many times a fault has killed an attempt of this
+    /// transaction; drives the retry backoff and the permanent-kill cap.
+    fault_kills: u32,
 }
 
 /// The simulator.
@@ -121,6 +143,39 @@ pub struct Simulator {
     requests_denied: u64,
     retry_tick_armed: bool,
     label: String,
+    // ----- fault-injection state (all inert when the plan is empty) ---
+    /// True when `cfg.faults` is non-empty; gates every fault-path
+    /// branch so an empty plan stays byte-identical to the pre-fault
+    /// simulator.
+    faults_on: bool,
+    /// True when the plan models link delay/loss: cohort dispatch goes
+    /// through `CohortArrive` events instead of immediate delivery.
+    link_on: bool,
+    /// Dedicated fault RNG (link-loss draws). Never touches the
+    /// workload or arrival streams.
+    fault_rng: bds_des::rng::Xoshiro256,
+    /// Per-DPN up/down flag.
+    node_up: Vec<bool>,
+    /// Per-DPN crash epoch; bumped on crash to tombstone stale
+    /// `SliceEnd` events.
+    dpn_epoch: Vec<u32>,
+    /// When each currently-down DPN went down.
+    down_since: Vec<Option<SimTime>>,
+    /// Accumulated per-DPN downtime.
+    downtime: Vec<Duration>,
+    /// Cohorts parked under [`DegradedMode::Hold`] until their home
+    /// node recovers: `(home node, cohort)` in arrival order.
+    held_cohorts: Vec<(u32, Cohort)>,
+    /// Aborts caused by OPT validation failure.
+    aborts_validation: u64,
+    /// Aborts ordered by the scheduler (restart-oriented protocols).
+    aborts_scheduler: u64,
+    /// Aborts caused by injected faults (DPN crashes).
+    aborts_fault: u64,
+    /// Transactions dropped permanently after exhausting the retry cap.
+    killed: u64,
+    /// Histogram of fault-kill attempt counts at permanent kill time.
+    retry_hist: LogHistogram,
     /// Reused buffer for released/touched files at commit and abort.
     released_buf: Vec<FileId>,
     /// Reused buffer for eligible pending-request sequence numbers.
@@ -176,6 +231,7 @@ fn metric_columns(num_nodes: u32) -> Vec<String> {
     for n in 0..num_nodes {
         names.push(format!("dpn{n}_util"));
     }
+    names.push("nodes_up".to_string());
     names
 }
 
@@ -203,6 +259,15 @@ impl Simulator {
         let arrivals = PoissonArrivals::new(cfg.lambda_tps, arrival_rng);
         let mut events = EventQueue::new();
         events.schedule_at(arrivals.peek(), Event::Arrival);
+        let faults_on = !cfg.faults.is_empty();
+        if faults_on {
+            // Fault actions are ordinary DES events: the expanded
+            // timeline is scheduled up front, deterministically.
+            for (at, action) in cfg.faults.timeline(cfg.costs.num_nodes, cfg.horizon) {
+                events.schedule_at(at, Event::Fault { action });
+            }
+        }
+        let num_nodes = cfg.costs.num_nodes as usize;
         Simulator {
             placement,
             events,
@@ -230,6 +295,19 @@ impl Simulator {
             requests_denied: 0,
             retry_tick_armed: false,
             label: cfg.scheduler.label(),
+            faults_on,
+            link_on: faults_on && !cfg.faults.link.is_perfect(),
+            fault_rng: bds_des::rng::Xoshiro256::seed_from_u64(cfg.faults.rng_seed(cfg.seed)),
+            node_up: vec![true; num_nodes],
+            dpn_epoch: vec![0; num_nodes],
+            down_since: vec![None; num_nodes],
+            downtime: vec![Duration::ZERO; num_nodes],
+            held_cohorts: Vec::new(),
+            aborts_validation: 0,
+            aborts_scheduler: 0,
+            aborts_fault: 0,
+            killed: 0,
+            retry_hist: LogHistogram::new(),
             released_buf: Vec::new(),
             eligible_buf: Vec::new(),
             tracer: Tracer::Off,
@@ -384,6 +462,8 @@ impl Simulator {
                 .push((self.lock_requests - prev.lock_requests) as f64 / window_secs);
             s.row.push(dpn_sum / self.dpns.len() as f64);
             s.row.extend_from_slice(&dpn_row);
+            s.row
+                .push(self.node_up.iter().filter(|&&up| up).count() as f64);
             prev.at_ms = s.next_ms();
             prev.arrived = self.arrived;
             prev.completed = self.completed;
@@ -406,6 +486,29 @@ impl Simulator {
         }
     }
 
+    /// Per-DPN downtime accumulated up to `at` (nodes still down are
+    /// charged through `at`).
+    pub fn node_downtime(&self, at: SimTime) -> Vec<Duration> {
+        self.downtime
+            .iter()
+            .zip(&self.down_since)
+            .map(|(&d, since)| match since {
+                Some(s) => d + at.saturating_since(*s),
+                None => d,
+            })
+            .collect()
+    }
+
+    /// Transactions arrived but neither committed nor killed yet.
+    pub fn in_flight(&self) -> u64 {
+        self.txns.len() as u64
+    }
+
+    /// Histogram of fault-kill attempt counts at permanent kill time.
+    pub fn retry_histogram(&self) -> &LogHistogram {
+        &self.retry_hist
+    }
+
     /// Produce the report (callable after `run_to_horizon`).
     pub fn report(&self) -> SimReport {
         let horizon = SimTime::ZERO + self.cfg.horizon;
@@ -415,6 +518,12 @@ impl Simulator {
             .map(|d| d.utilization(horizon))
             .sum::<f64>()
             / self.dpns.len() as f64;
+        let downtime_secs: f64 = self
+            .node_downtime(horizon)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        let node_secs = self.dpns.len() as f64 * self.cfg.horizon.as_secs_f64();
         SimReport {
             scheduler: self.label.clone(),
             lambda_tps: self.cfg.lambda_tps,
@@ -435,6 +544,12 @@ impl Simulator {
             events: self.events.events_processed(),
             lock_requests: self.lock_requests,
             requests_denied: self.requests_denied,
+            aborts_validation: self.aborts_validation,
+            aborts_scheduler: self.aborts_scheduler,
+            aborts_fault: self.aborts_fault,
+            killed: self.killed,
+            availability: 1.0 - downtime_secs / node_secs,
+            downtime_secs,
         }
     }
 
@@ -514,7 +629,7 @@ impl Simulator {
         match ev {
             Event::Arrival => self.on_arrival(),
             Event::CnDone { id, phase } => self.on_cn_done(id, phase),
-            Event::SliceEnd { node } => self.on_slice_end(node),
+            Event::SliceEnd { node, epoch } => self.on_slice_end(node, epoch),
             Event::RetryTick => self.on_retry_tick(),
             Event::Restart { id } => {
                 let now = self.now();
@@ -524,6 +639,11 @@ impl Simulator {
                 });
                 self.start_queue.push_back(id);
                 self.try_admissions();
+            }
+            Event::Fault { action } => self.on_fault(action),
+            Event::CohortArrive { node, cohort } => {
+                let now = self.now();
+                self.deliver_cohort(now, node, cohort);
             }
         }
     }
@@ -550,6 +670,7 @@ impl Simulator {
                 step: 0,
                 outstanding_cohorts: 0,
                 ever_started: false,
+                fault_kills: 0,
             },
         );
         self.arrived += 1;
@@ -815,33 +936,124 @@ impl Simulator {
             let cid = CohortId(self.next_cohort);
             self.next_cohort += 1;
             self.cohort_owner.insert(cid, id);
-            self.tracer.emit(|| Rec {
-                at: start_at,
-                kind: EventKind::CohortStart {
-                    txn: id,
-                    step: step as u32,
-                    node: node.0,
-                },
-            });
             let cohort = Cohort {
                 id: cid,
                 remaining: work,
                 quantum,
             };
-            // net_delay is zero in the paper; the cohort starts now.
-            debug_assert_eq!(start_at, now);
-            if let Some(end) = self.dpns[node.0 as usize].add_cohort(start_at, cohort) {
-                self.events
-                    .schedule_at(end, Event::SliceEnd { node: node.0 });
+            if !self.faults_on {
+                // Fault-free fast path, byte-identical to the pre-fault
+                // simulator.
+                self.tracer.emit(|| Rec {
+                    at: start_at,
+                    kind: EventKind::CohortStart {
+                        txn: id,
+                        step: step as u32,
+                        node: node.0,
+                    },
+                });
+                // net_delay is zero in the paper; the cohort starts now.
+                debug_assert_eq!(start_at, now);
+                if let Some(end) = self.dpns[node.0 as usize].add_cohort(start_at, cohort) {
+                    self.events.schedule_at(
+                        end,
+                        Event::SliceEnd {
+                            node: node.0,
+                            epoch: self.dpn_epoch[node.0 as usize],
+                        },
+                    );
+                }
+                continue;
             }
+            // Fault path: apply the link model, then degraded routing at
+            // delivery time.
+            let link = self.cfg.faults.link;
+            if !self.link_on {
+                self.deliver_cohort(start_at, node.0, cohort);
+                continue;
+            }
+            let mut deliver_at = start_at + link.delay;
+            if link.loss_per_mille > 0
+                && self.fault_rng.next_range(1000) < u64::from(link.loss_per_mille)
+            {
+                // The dispatch message is lost; the home node redelivers
+                // after its timeout.
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::FaultInjected {
+                        node: Some(node.0),
+                        what: "link-loss",
+                    },
+                });
+                deliver_at += link.redeliver_after;
+            }
+            self.events.schedule_at(
+                deliver_at,
+                Event::CohortArrive {
+                    node: node.0,
+                    cohort,
+                },
+            );
         }
     }
 
-    fn on_slice_end(&mut self, node: u32) {
+    /// Hand a dispatched cohort to its DPN, applying degraded-mode
+    /// routing when the target is down. Drops the cohort silently when
+    /// its owner was aborted while the message was in flight.
+    fn deliver_cohort(&mut self, now: SimTime, node: u32, cohort: Cohort) {
+        let Some(&owner) = self.cohort_owner.get(&cohort.id) else {
+            return;
+        };
+        let target = if self.node_up[node as usize] {
+            Some(node)
+        } else {
+            match self.cfg.faults.degraded {
+                DegradedMode::Reroute => self.first_up_node(node),
+                DegradedMode::Hold => None,
+            }
+        };
+        let Some(n) = target else {
+            self.held_cohorts.push((node, cohort));
+            return;
+        };
+        let step = self.txns[&owner].step as u32;
+        self.tracer.emit(|| Rec {
+            at: now,
+            kind: EventKind::CohortStart {
+                txn: owner,
+                step,
+                node: n,
+            },
+        });
+        if let Some(end) = self.dpns[n as usize].add_cohort(now, cohort) {
+            self.events.schedule_at(
+                end,
+                Event::SliceEnd {
+                    node: n,
+                    epoch: self.dpn_epoch[n as usize],
+                },
+            );
+        }
+    }
+
+    /// The first up node at or after `from` in ring order, if any.
+    fn first_up_node(&self, from: u32) -> Option<u32> {
+        let n = self.node_up.len() as u32;
+        (0..n)
+            .map(|k| (from + k) % n)
+            .find(|&cand| self.node_up[cand as usize])
+    }
+
+    fn on_slice_end(&mut self, node: u32, epoch: u32) {
+        if epoch != self.dpn_epoch[node as usize] {
+            // Scheduled before the node crashed: the slice never ran.
+            return;
+        }
         let now = self.now();
         let out = self.dpns[node as usize].on_slice_end(now);
         if let Some(end) = out.next_slice_end {
-            self.events.schedule_at(end, Event::SliceEnd { node });
+            self.events
+                .schedule_at(end, Event::SliceEnd { node, epoch });
         }
         if self.tracer.enabled() {
             // Owner lookup must precede the `finished` removal below.
@@ -854,10 +1066,15 @@ impl Simulator {
             }
         }
         if let Some(cid) = out.finished {
-            let id = self
-                .cohort_owner
-                .remove(&cid)
-                .expect("finished cohort has no owner");
+            let id = match self.cohort_owner.remove(&cid) {
+                Some(id) => id,
+                None => {
+                    // Orphan of a fault-aborted transaction: its CPU was
+                    // wasted, its completion is ignored.
+                    debug_assert!(self.faults_on, "finished cohort has no owner");
+                    return;
+                }
+            };
             let cur_step = self.txns[&id].step as u32;
             self.tracer.emit(|| Rec {
                 at: now,
@@ -949,31 +1166,157 @@ impl Simulator {
             self.try_admissions();
         } else {
             // OPT validation failure: abort and restart from scratch.
-            self.restart_txn(id);
+            self.abort_txn(id, AbortCause::Validation);
             self.try_admissions();
         }
     }
 
-    /// Abort `id` (scheduler-initiated or failed validation) and queue
-    /// its restart after `restart_delay`; all its I/O will be redone.
-    fn restart_txn(&mut self, id: TxnId) {
+    /// Abort `id` and queue its restart; all its I/O will be redone.
+    ///
+    /// Scheduler and validation aborts retry after `restart_delay`
+    /// (unchanged legacy behaviour). Fault aborts retry under the
+    /// plan's exponential-backoff policy and are killed permanently —
+    /// scheduler state dropped via [`Scheduler::forget`], no restart —
+    /// once the kill count reaches the retry cap.
+    fn abort_txn(&mut self, id: TxnId, cause: AbortCause) {
         let now = self.now();
         self.restarts += 1;
+        match cause {
+            AbortCause::Validation => self.aborts_validation += 1,
+            AbortCause::Scheduler => self.aborts_scheduler += 1,
+            AbortCause::Fault => self.aborts_fault += 1,
+        }
         self.tracer.emit(|| Rec {
             at: now,
             kind: EventKind::Abort { txn: id },
         });
+        let kills = if cause == AbortCause::Fault {
+            let txn = self.txns.get_mut(&id).expect("fault abort of unknown txn");
+            txn.fault_kills += 1;
+            txn.fault_kills
+        } else {
+            0
+        };
+        let kill_for_good =
+            cause == AbortCause::Fault && kills >= self.cfg.faults.retry.max_attempts;
         let mut released = std::mem::take(&mut self.released_buf);
         released.clear();
-        self.scheduler.abort_into(id, &mut released);
+        if kill_for_good {
+            self.scheduler.forget(id, &mut released);
+        } else {
+            self.scheduler.abort_into(id, &mut released);
+        }
         self.live.add(now, -1.0);
-        let txn = self.txns.get_mut(&id).expect("abort of unknown txn");
-        txn.step = 0;
-        txn.outstanding_cohorts = 0;
-        self.events
-            .schedule_after(self.cfg.restart_delay, Event::Restart { id });
+        let had_cohorts = {
+            let txn = self.txns.get_mut(&id).expect("abort of unknown txn");
+            let had = txn.outstanding_cohorts > 0;
+            txn.step = 0;
+            txn.outstanding_cohorts = 0;
+            had
+        };
+        if had_cohorts {
+            // Orphan every cohort of the aborted attempt: still-running
+            // or in-flight cohorts lose their owner and are dropped when
+            // they finish or arrive. Only fault aborts can get here —
+            // scheduler/validation aborts never have work outstanding.
+            self.cohort_owner.retain(|_, owner| *owner != id);
+        }
+        if kill_for_good {
+            self.txns.remove(&id);
+            self.killed += 1;
+            self.retry_hist.record_ticks(u64::from(kills));
+            self.tracer.emit(|| Rec {
+                at: now,
+                kind: EventKind::TxnKilled {
+                    txn: id,
+                    attempts: kills,
+                },
+            });
+            // Defensive: a killed transaction must not linger anywhere.
+            self.pending.retain(|_, p| p.id != id);
+        } else {
+            let delay = if cause == AbortCause::Fault {
+                self.cfg.faults.retry.delay_for(kills)
+            } else {
+                self.cfg.restart_delay
+            };
+            self.events.schedule_after(delay, Event::Restart { id });
+        }
         self.wake_waiters(&released);
         self.released_buf = released;
+    }
+
+    /// Legacy entry point: abort with the scheduler cause.
+    fn restart_txn(&mut self, id: TxnId) {
+        self.abort_txn(id, AbortCause::Scheduler);
+    }
+
+    // ----- fault injection --------------------------------------------
+
+    fn on_fault(&mut self, action: FaultAction) {
+        let now = self.now();
+        match action {
+            FaultAction::CrashNode { node } => {
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::FaultInjected {
+                        node: Some(node),
+                        what: "dpn-crash",
+                    },
+                });
+                let n = node as usize;
+                self.node_up[n] = false;
+                self.down_since[n] = Some(now);
+                // Tombstone every slice scheduled on this node.
+                self.dpn_epoch[n] += 1;
+                let lost = self.dpns[n].crash(now);
+                let mut victims: Vec<TxnId> = lost
+                    .iter()
+                    .filter_map(|cid| self.cohort_owner.remove(cid))
+                    .collect();
+                victims.sort_unstable();
+                victims.dedup();
+                for id in victims {
+                    self.abort_txn(id, AbortCause::Fault);
+                }
+                self.sweep_retries();
+                self.try_admissions();
+            }
+            FaultAction::RecoverNode { node } => {
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::NodeRecovered { node },
+                });
+                let n = node as usize;
+                self.node_up[n] = true;
+                if let Some(since) = self.down_since[n].take() {
+                    self.downtime[n] += now.since(since);
+                }
+                // Deliver cohorts held for this node (Hold mode); their
+                // owners may have been aborted meanwhile, in which case
+                // deliver_cohort drops them.
+                let mut held = std::mem::take(&mut self.held_cohorts);
+                held.retain(|&(home, cohort)| {
+                    if home == node {
+                        self.deliver_cohort(now, node, cohort);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.held_cohorts = held;
+            }
+            FaultAction::StallCn { dur } => {
+                self.tracer.emit(|| Rec {
+                    at: now,
+                    kind: EventKind::FaultInjected {
+                        node: None,
+                        what: "cn-stall",
+                    },
+                });
+                self.cn.stall_until(now + dur);
+            }
+        }
     }
 
     // ----- retries -----------------------------------------------------

@@ -80,6 +80,17 @@ impl FcfsServer {
         }
     }
 
+    /// Stall the server until `until`: no work is served before then,
+    /// so queued and newly arriving jobs begin no earlier than `until`.
+    /// Models a control-node freeze (fault injection); the stall window
+    /// counts as idle time in [`FcfsServer::utilization`] because no
+    /// demand is served during it.
+    pub fn stall_until(&mut self, until: SimTime) {
+        if until > self.free_at {
+            self.free_at = until;
+        }
+    }
+
     /// The instant the server next becomes idle.
     pub fn free_at(&self) -> SimTime {
         self.free_at
@@ -181,6 +192,20 @@ mod tests {
             (b2, e2),
             (SimTime::from_millis(30), SimTime::from_millis(35))
         );
+    }
+
+    #[test]
+    fn stall_defers_service() {
+        let mut s = FcfsServer::new(SimTime::ZERO);
+        s.stall_until(SimTime::from_millis(100));
+        let (b, e) = s.enqueue_span(SimTime::from_millis(10), Duration::from_millis(20));
+        assert_eq!(
+            (b, e),
+            (SimTime::from_millis(100), SimTime::from_millis(120))
+        );
+        // A stall that ends before the current backlog is a no-op.
+        s.stall_until(SimTime::from_millis(50));
+        assert_eq!(s.free_at(), SimTime::from_millis(120));
     }
 
     #[test]

@@ -170,6 +170,26 @@ impl Dpn {
             slice: run.slice_len,
         }
     }
+
+    /// Crash the node at `now`: every resident cohort (running and
+    /// ready) is lost and its id returned so the caller can abort the
+    /// owning transactions. The running slice's elapsed portion is
+    /// credited to busy time (the CPU really spent it) and the node goes
+    /// idle; any slice-end event already scheduled for it is stale and
+    /// must be tombstoned by the caller.
+    pub fn crash(&mut self, now: SimTime) -> Vec<CohortId> {
+        let mut lost: Vec<CohortId> = Vec::with_capacity(self.load());
+        if let Some(run) = self.running.take() {
+            let elapsed = run
+                .slice_len
+                .saturating_sub(run.slice_end.saturating_since(now));
+            self.busy_time += elapsed;
+            lost.push(run.cohort.id);
+        }
+        lost.extend(self.ready.drain(..).map(|c| c.id));
+        self.busy.set(now, 0.0);
+        lost
+    }
 }
 
 impl Default for Dpn {
@@ -323,6 +343,32 @@ mod tests {
         let out2 = d.on_slice_end(out.next_slice_end.unwrap());
         assert_eq!(out2.ran, CohortId(1));
         assert_eq!(out2.finished, Some(CohortId(1)));
+    }
+
+    #[test]
+    fn crash_loses_all_cohorts_and_credits_partial_slice() {
+        let mut d = Dpn::new();
+        let first = d.add_cohort(SimTime::ZERO, cohort(1, 2000, 1000)).unwrap();
+        d.add_cohort(SimTime::ZERO, cohort(2, 2000, 1000));
+        assert_eq!(first, SimTime::from_millis(1000));
+        // Crash mid-slice at t=400: cohort 1 ran 400ms of its slice.
+        let lost = d.crash(SimTime::from_millis(400));
+        assert_eq!(lost, vec![CohortId(1), CohortId(2)]);
+        assert!(d.is_idle());
+        assert_eq!(d.busy_time(), Duration::from_millis(400));
+        assert_eq!(d.completed(), 0);
+        // The node accepts work again after recovery.
+        let next = d
+            .add_cohort(SimTime::from_millis(5000), cohort(3, 500, 1000))
+            .unwrap();
+        assert_eq!(next, SimTime::from_millis(5500));
+    }
+
+    #[test]
+    fn crash_on_idle_node_is_empty() {
+        let mut d = Dpn::new();
+        assert!(d.crash(SimTime::from_millis(10)).is_empty());
+        assert!(d.is_idle());
     }
 
     #[test]

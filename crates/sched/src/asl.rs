@@ -108,6 +108,22 @@ impl Scheduler for Asl {
 
     fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.live.remove(&id);
+        // Void the aborted attempt's undrained audit constraints: a
+        // restarted attempt may be ordered the other way.
+        self.constraints.retain(|&(a, b)| a != id && b != id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn forget(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        // Same cleanup as commit: drop the registration and every
+        // grant-log row so nothing dangles for a transaction that will
+        // never restart.
+        self.live.remove(&id);
+        self.specs.remove(&id);
+        for log in self.grant_log.values_mut() {
+            log.retain(|&t| t != id);
+        }
+        self.constraints.retain(|&(a, b)| a != id && b != id);
         self.table.release_all_into(id, released);
     }
 

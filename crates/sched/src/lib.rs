@@ -117,6 +117,12 @@ pub struct SchedTelemetry {
     pub wtpg_nodes: usize,
     /// Undirected pair edges in the WTPG (0 for non-WTPG schedulers).
     pub wtpg_edges: usize,
+    /// Slots allocated in the WTPG arena (live + free-listed); 0 for
+    /// non-WTPG schedulers. Leak invariant: `wtpg_slots - wtpg_free ==
+    /// wtpg_nodes` must hold at every quiescent point.
+    pub wtpg_slots: usize,
+    /// Slots currently on the WTPG arena free list.
+    pub wtpg_free: usize,
 }
 
 /// The scheduler interface driven by the simulator.
@@ -171,6 +177,15 @@ pub trait Scheduler: Send {
     /// [`Scheduler::commit_into`].
     fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         released.extend(self.abort(id));
+    }
+
+    /// Permanently remove a transaction: like [`Scheduler::abort_into`]
+    /// but the registration is dropped too — the transaction will never
+    /// `try_start` again. Used by fault injection when a transaction
+    /// exhausts its retry budget. Implementations must leave no lock
+    /// rows, WTPG slots, chain entries or validation history behind.
+    fn forget(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.abort_into(id, released);
     }
 
     /// Number of live (started, uncommitted) transactions.

@@ -210,6 +210,14 @@ impl Scheduler for Low {
 
     fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
         self.core.remove_live_only(id);
+        self.core.purge_constraints(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn forget(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        // Permanent kill: drop the WTPG slot, spec and every lock row.
+        self.core.remove(id);
+        self.core.purge_constraints(id);
         self.table.release_all_into(id, released);
     }
 
@@ -222,10 +230,13 @@ impl Scheduler for Low {
     }
 
     fn telemetry(&self) -> SchedTelemetry {
+        let (wtpg_slots, wtpg_free) = self.core.graph.arena_stats();
         SchedTelemetry {
             locks_held: self.table.total_locks(),
             wtpg_nodes: self.core.graph.len(),
             wtpg_edges: self.core.graph.edges().count(),
+            wtpg_slots,
+            wtpg_free,
         }
     }
 }

@@ -56,6 +56,12 @@ impl Scheduler for Nodc {
         Vec::new()
     }
 
+    fn forget(&mut self, id: TxnId, _released: &mut Vec<FileId>) {
+        // `live` doubles as the registration map (abort keeps it so the
+        // transaction can restart); a permanent kill drops it.
+        self.live.remove(&id);
+    }
+
     fn live_count(&self) -> usize {
         self.live.len()
     }

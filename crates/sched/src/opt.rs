@@ -20,6 +20,8 @@ use std::collections::BTreeMap;
 struct CommittedEntry {
     /// Commit serial number.
     seq: u64,
+    /// The committed transaction (for the audit constraint log).
+    id: TxnId,
     /// Files the committed transaction wrote.
     write_set: Vec<FileId>,
 }
@@ -33,6 +35,14 @@ pub struct Opt {
     committed: Vec<CommittedEntry>,
     commit_seq: u64,
     validation_failures: u64,
+    /// Last committed writer per file, for the audit constraint log.
+    last_writer: BTreeMap<FileId, TxnId>,
+    /// Certify-time precedence constraints on the committed history (see
+    /// [`Scheduler::drain_constraints`]): true dependencies point from
+    /// each footprint file's last committed writer to the committer;
+    /// would-be validation misses are recorded as a 2-cycle so the
+    /// serializability oracle flags them.
+    constraints: Vec<(TxnId, TxnId)>,
 }
 
 impl Opt {
@@ -103,10 +113,44 @@ impl Scheduler for Opt {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        let start_seq = self.active[&id];
+        let spec = &self.specs[&id];
+        let write_set = spec.write_set();
+        let mut footprint = spec.read_set();
+        footprint.extend(write_set.iter().copied());
+        footprint.sort_unstable();
+        footprint.dedup();
+        // Audit log: every transaction that committed a conflicting
+        // write during this one's lifetime should have failed this
+        // one's validation — record the overlap as a 2-cycle so the
+        // oracle (`wtpg::oracle::is_serializable`) rejects the history
+        // if validation ever lets one through.
+        for e in self.committed.iter().filter(|e| e.seq > start_seq) {
+            if e.write_set
+                .iter()
+                .any(|w| footprint.binary_search(w).is_ok())
+            {
+                self.constraints.push((e.id, id));
+                self.constraints.push((id, e.id));
+            }
+        }
+        // True wr/ww dependencies: the last committed writer of each
+        // footprint file precedes this commit in the equivalent serial
+        // order (which for backward validation is commit order).
+        for f in &footprint {
+            if let Some(&w) = self.last_writer.get(f) {
+                if w != id {
+                    self.constraints.push((w, id));
+                }
+            }
+        }
+        for f in &write_set {
+            self.last_writer.insert(*f, id);
+        }
         self.commit_seq += 1;
-        let write_set = self.specs[&id].write_set();
         self.committed.push(CommittedEntry {
             seq: self.commit_seq,
+            id,
             write_set,
         });
         self.active.remove(&id);
@@ -121,8 +165,18 @@ impl Scheduler for Opt {
         Vec::new()
     }
 
+    fn forget(&mut self, id: TxnId, _released: &mut Vec<FileId>) {
+        self.active.remove(&id);
+        self.specs.remove(&id);
+        self.prune();
+    }
+
     fn live_count(&self) -> usize {
         self.active.len()
+    }
+
+    fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        std::mem::take(&mut self.constraints)
     }
 }
 

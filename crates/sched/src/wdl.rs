@@ -120,6 +120,13 @@ impl Scheduler for Wdl {
         self.table.release_all_into(id, released);
     }
 
+    fn forget(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.live.remove(&id);
+        self.waiting.remove(&id);
+        self.specs.remove(&id);
+        self.table.release_all_into(id, released);
+    }
+
     fn live_count(&self) -> usize {
         self.live.len()
     }

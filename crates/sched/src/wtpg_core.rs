@@ -245,6 +245,15 @@ impl WtpgCore {
     pub fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
         std::mem::take(&mut self.constraints)
     }
+
+    /// Void the undrained constraints of an aborted attempt: edges
+    /// decided for or against `id` belong to work that never committed,
+    /// and a restarted attempt may legitimately be ordered the other
+    /// way. Leaving them in the log would make the serializability
+    /// audit reject correct histories under fault-induced aborts.
+    pub fn purge_constraints(&mut self, id: TxnId) {
+        self.constraints.retain(|&(a, b)| a != id && b != id);
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +378,23 @@ mod tests {
             core.conflicting_declarers(t(3), f(0), LockMode::Exclusive),
             vec![t(1), t(2)]
         );
+    }
+
+    #[test]
+    fn purge_drops_only_the_aborted_attempts_edges() {
+        let mut core = WtpgCore::new();
+        let table = LockTable::new();
+        for i in 1..=3 {
+            core.register(t(i), BatchSpec::new(vec![xw(f(0), 1.0)]));
+            core.add_live(t(i), &table);
+        }
+        core.set_precedence(t(1), t(2));
+        core.set_precedence(t(2), t(3));
+        core.set_precedence(t(1), t(3));
+        core.purge_constraints(t(2));
+        // Every edge mentioning t2 — on either side — is void; the
+        // unrelated t1→t3 edge survives.
+        assert_eq!(core.drain_constraints(), vec![(t(1), t(3))]);
     }
 
     #[test]

@@ -239,14 +239,18 @@ impl Analysis {
                     a.att_exec = Duration::ZERO;
                     a.aborts += 1;
                 }
-                // Cohort/quantum/CN-CPU/certify/restart events carry no
-                // span-accounting state.
+                // Cohort/quantum/CN-CPU/certify/restart/fault events
+                // carry no span-accounting state (a fault kill is always
+                // preceded by an `Abort`, which closes the attempt).
                 EventKind::CohortStart { .. }
                 | EventKind::CohortFinish { .. }
                 | EventKind::Quantum { .. }
                 | EventKind::CnCpu { .. }
                 | EventKind::Certify { .. }
-                | EventKind::Restart { .. } => {}
+                | EventKind::Restart { .. }
+                | EventKind::FaultInjected { .. }
+                | EventKind::TxnKilled { .. }
+                | EventKind::NodeRecovered { .. } => {}
             }
         }
 

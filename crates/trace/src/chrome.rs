@@ -227,6 +227,33 @@ pub fn chrome_trace(data: &TraceData) -> String {
             EventKind::Restart { txn } => {
                 events.raw(&instant("restart", CN_PID, tid_of(Some(txn)), at, ""));
             }
+            EventKind::FaultInjected { node, what } => {
+                let mut a = JsonObj::new();
+                a.str("what", what);
+                let pid = match node {
+                    Some(n) => {
+                        dpn_pids.insert(n);
+                        dpn_pid(n)
+                    }
+                    None => CN_PID,
+                };
+                events.raw(&instant("fault_injected", pid, 0, at, &a.finish()));
+            }
+            EventKind::TxnKilled { txn, attempts } => {
+                let mut a = JsonObj::new();
+                a.int("attempts", u64::from(attempts));
+                events.raw(&instant(
+                    "txn_killed",
+                    CN_PID,
+                    tid_of(Some(txn)),
+                    at,
+                    &a.finish(),
+                ));
+            }
+            EventKind::NodeRecovered { node } => {
+                dpn_pids.insert(node);
+                events.raw(&instant("node_recovered", dpn_pid(node), 0, at, ""));
+            }
         }
     }
 

@@ -181,6 +181,27 @@ pub enum EventKind {
         /// The restarting transaction.
         txn: TxnId,
     },
+    /// A fault-plan action fired (DPN crash, CN stall, link loss, …).
+    FaultInjected {
+        /// The affected DPN, or `None` for machine-wide faults (CN
+        /// stalls, link faults).
+        node: Option<u32>,
+        /// What happened (`"dpn-crash"`, `"cn-stall"`, `"link-loss"`).
+        what: &'static str,
+    },
+    /// A transaction was dropped permanently after exhausting its
+    /// fault-retry budget.
+    TxnKilled {
+        /// The killed transaction.
+        txn: TxnId,
+        /// How many times it had been fault-killed (== the retry cap).
+        attempts: u32,
+    },
+    /// A crashed DPN came back up and accepts cohorts again.
+    NodeRecovered {
+        /// The recovered DPN.
+        node: u32,
+    },
 }
 
 impl EventKind {
@@ -206,6 +227,9 @@ impl EventKind {
             EventKind::Commit { .. } => "commit",
             EventKind::Abort { .. } => "abort",
             EventKind::Restart { .. } => "restart",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::TxnKilled { .. } => "txn_killed",
+            EventKind::NodeRecovered { .. } => "node_recovered",
         }
     }
 
@@ -228,9 +252,12 @@ impl EventKind {
             | EventKind::Certify { txn, .. }
             | EventKind::Commit { txn }
             | EventKind::Abort { txn }
-            | EventKind::Restart { txn } => Some(txn),
+            | EventKind::Restart { txn }
+            | EventKind::TxnKilled { txn, .. } => Some(txn),
             EventKind::CnCpu { txn, .. } => txn,
-            EventKind::WtpgEdge { .. } => None,
+            EventKind::WtpgEdge { .. }
+            | EventKind::FaultInjected { .. }
+            | EventKind::NodeRecovered { .. } => None,
         }
     }
 }

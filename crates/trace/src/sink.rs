@@ -68,6 +68,12 @@ pub struct Counts {
     pub aborts: u64,
     /// Restart re-entries into the start queue.
     pub restarts: u64,
+    /// Fault-plan actions injected (crashes, stalls, link losses).
+    pub faults_injected: u64,
+    /// Transactions dropped permanently by fault retry exhaustion.
+    pub txns_killed: u64,
+    /// DPN recoveries.
+    pub node_recoveries: u64,
 }
 
 impl Counts {
@@ -93,6 +99,9 @@ impl Counts {
             + self.commits
             + self.aborts
             + self.restarts
+            + self.faults_injected
+            + self.txns_killed
+            + self.node_recoveries
     }
 
     fn bump(&mut self, kind: &EventKind) {
@@ -117,6 +126,9 @@ impl Counts {
             EventKind::Commit { .. } => self.commits += 1,
             EventKind::Abort { .. } => self.aborts += 1,
             EventKind::Restart { .. } => self.restarts += 1,
+            EventKind::FaultInjected { .. } => self.faults_injected += 1,
+            EventKind::TxnKilled { .. } => self.txns_killed += 1,
+            EventKind::NodeRecovered { .. } => self.node_recoveries += 1,
         }
     }
 }

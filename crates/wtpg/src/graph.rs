@@ -320,6 +320,14 @@ impl Wtpg {
         self.index.is_empty()
     }
 
+    /// Arena occupancy as `(allocated_slots, free_listed_slots)`. Leak
+    /// invariant (checked by the fault-injection tests): every slot is
+    /// either live or on the free list, so `allocated - free == len()`
+    /// at every quiescent point.
+    pub fn arena_stats(&self) -> (usize, usize) {
+        (self.slots.len(), self.free.len())
+    }
+
     /// Whether `t` is a live node.
     pub fn contains(&self, t: TxnId) -> bool {
         self.lookup(t).is_some()

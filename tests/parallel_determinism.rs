@@ -10,6 +10,7 @@
 use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::Duration;
 use batchsched::experiments::{self, ExpOptions, ARTIFACT_IDS};
+use batchsched::fault::FaultPlan;
 use batchsched::parallel::{map_jobs, ExecCtx};
 use batchsched::sim::Simulator;
 use batchsched::trace::{chrome_trace, Analysis};
@@ -143,6 +144,44 @@ fn metrics_exports_identical_at_jobs_1_and_jobs_8() {
             plain.to_json(),
             a[0],
             "sampling changed the report for {}",
+            SchedulerKind::PAPER_SET[i]
+        );
+    }
+}
+
+/// Fault injection joins the determinism contract: the same seed and the
+/// same fault plan must yield byte-identical report JSON and metrics
+/// exports whether one worker or eight execute the batch. Faults are
+/// ordinary DES events drawn from a plan-derived RNG, so worker count
+/// cannot leak into crash timing, loss draws or retry backoff.
+#[test]
+fn fault_exports_identical_at_jobs_1_and_jobs_8() {
+    let plan = FaultPlan::parse(
+        "crash=1@40x20,crash=5@110x15,delay=4,loss=50,redeliver=350,stall=70x6,retry=800:6400:3",
+    )
+    .expect("plan parses");
+    let cells: Vec<SimConfig> = SchedulerKind::PAPER_SET
+        .iter()
+        .map(|&kind| {
+            let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+            c.lambda_tps = 0.9;
+            c.horizon = Duration::from_secs(200);
+            c.with_faults(plan.clone())
+        })
+        .collect();
+    let render = |jobs: usize| -> Vec<[String; 3]> {
+        map_jobs(&cells, jobs, |_, cfg| {
+            let (report, series) = Simulator::run_with_metrics(cfg, Duration::from_secs(5));
+            [report.to_json(), series.to_csv(), series.to_json()]
+        })
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "faulted exports for {} differ between --jobs 1 and --jobs 8",
             SchedulerKind::PAPER_SET[i]
         );
     }

@@ -4,21 +4,38 @@
 //! a serial equivalent).
 //!
 //! NODC is excluded (it is non-serializable by design — the paper's
-//! upper bound) and OPT is excluded (it certifies by validation instead
-//! of precedence edges; its correctness is tested at the unit level).
+//! upper bound). OPT is audited through the certify-time precedence
+//! constraints it records at commit: validated commits order after the
+//! committed writers they observed, so the same acyclicity oracle
+//! applies.
 
 use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::Duration;
+use batchsched::fault::FaultPlan;
 use batchsched::sched::SchedulerKind;
 use batchsched::sim::Simulator;
 use batchsched::wtpg::oracle::is_serializable;
 
 fn audit(kind: SchedulerKind, workload: WorkloadKind, lambda: f64, dd: u32, seed: u64) {
+    audit_with_faults(kind, workload, lambda, dd, seed, "");
+}
+
+fn audit_with_faults(
+    kind: SchedulerKind,
+    workload: WorkloadKind,
+    lambda: f64,
+    dd: u32,
+    seed: u64,
+    plan: &str,
+) {
     let mut cfg = SimConfig::new(kind, workload);
     cfg.lambda_tps = lambda;
     cfg.dd = dd;
     cfg.seed = seed;
     cfg.horizon = Duration::from_secs(400);
+    if !plan.is_empty() {
+        cfg = cfg.with_faults(FaultPlan::parse(plan).expect("plan parses"));
+    }
     let mut sim = Simulator::new(&cfg);
     sim.run_to_horizon();
     let report = sim.report();
@@ -39,6 +56,16 @@ const LOCKING: [SchedulerKind; 4] = [
     SchedulerKind::C2pl,
     SchedulerKind::Gow,
     SchedulerKind::Low(2),
+];
+
+/// Every scheduler with a meaningful constraint log: the four locking
+/// schedulers plus OPT's certify-time edges.
+const AUDITED: [SchedulerKind; 5] = [
+    SchedulerKind::Asl,
+    SchedulerKind::C2pl,
+    SchedulerKind::Gow,
+    SchedulerKind::Low(2),
+    SchedulerKind::Opt,
 ];
 
 #[test]
@@ -94,6 +121,49 @@ fn exp3_wrong_declarations_stay_serializable() {
             1,
             6,
         );
+    }
+}
+
+#[test]
+fn opt_certification_is_serializable() {
+    // OPT records precedence edges at certification time: a validated
+    // commit orders after every committed writer it read behind, and a
+    // validation failure records the conflicting pair in both
+    // directions so the oracle rejects any history that actually
+    // committed such a pair.
+    audit(
+        SchedulerKind::Opt,
+        WorkloadKind::Exp1 { num_files: 16 },
+        0.8,
+        1,
+        7,
+    );
+    audit(
+        SchedulerKind::Opt,
+        WorkloadKind::Exp1 { num_files: 8 },
+        1.2,
+        1,
+        8,
+    );
+    audit(SchedulerKind::Opt, WorkloadKind::Exp2, 1.0, 1, 9);
+}
+
+#[test]
+fn faulted_histories_stay_serializable() {
+    // Fault-induced aborts and restarts must never let a committed
+    // history go cyclic: an aborted attempt's constraints are void, and
+    // the restarted attempt re-records its ordering from scratch.
+    let plan = "crash=1@50x20,crash=4@120x15,delay=3,loss=40,redeliver=300,retry=800:6400:3";
+    for kind in AUDITED {
+        audit_with_faults(kind, WorkloadKind::Exp1 { num_files: 16 }, 0.8, 1, 11, plan);
+    }
+}
+
+#[test]
+fn faulted_hot_set_stays_serializable() {
+    let plan = "mtbf=90,mttr=12,stall=60x5,retry=500:4000:2,seed=5";
+    for kind in AUDITED {
+        audit_with_faults(kind, WorkloadKind::Exp2, 1.0, 1, 12, plan);
     }
 }
 
