@@ -1,0 +1,137 @@
+//! Timing-wheel vs binary-heap event queue microbenchmark.
+//!
+//! The simulator's future-event list was a `BinaryHeap<(SimTime, seq)>`
+//! until the timing-wheel rewrite; this bench keeps the heap around as a
+//! reference and measures both under the access patterns that matter at
+//! web scale:
+//!
+//! * **hold-N churn** — the steady state of a long run: N events pending,
+//!   each iteration pops the earliest and schedules a replacement a random
+//!   delay ahead. The heap pays O(log N) per op; the wheel stays O(1), so
+//!   the gap widens with N (the ≥ 10⁵ row is the acceptance target).
+//! * **bulk push + drain** — queue build-up and tear-down.
+//!
+//! Plain `Instant`-based harness (no external benchmark framework),
+//! mirroring `benches/event_kernel.rs`.
+
+use bds_des::rng::Xoshiro256;
+use bds_des::time::SimTime;
+use bds_des::EventQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let budget = std::time::Duration::from_millis(300);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per:>14.1} ns/iter  ({iters} iters)");
+}
+
+/// The reference queue the wheel replaced: a binary heap over
+/// `(at, seq)` with the same monotone clock and FIFO tie-break.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    seq: u64,
+}
+
+impl HeapQueue {
+    fn push(&mut self, at: u64) {
+        self.heap.push(Reverse((at, self.seq)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(p)| p)
+    }
+}
+
+/// Delay mixture matching the simulator's profile: mostly short
+/// CPU/slice delays, occasional long retry/horizon-scale delays.
+fn delay(r: &mut Xoshiro256) -> u64 {
+    match r.next_range(10) {
+        0..=5 => r.next_range(1 << 8),
+        6..=8 => r.next_range(1 << 16),
+        _ => r.next_range(1 << 24),
+    }
+}
+
+/// Hold-N churn, 1 000 pop+push pairs per iteration.
+fn bench_churn(n: u64) {
+    let ops = 1_000u64;
+
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut r = Xoshiro256::seed_from_u64(7);
+    for i in 0..n {
+        wheel.schedule_at(SimTime::from_millis(delay(&mut r)), i);
+    }
+    bench(&format!("wheel_churn_hold_{n}_x1k"), || {
+        let mut sum = 0u64;
+        for _ in 0..ops {
+            let s = wheel.pop().expect("queue never drains");
+            sum = sum.wrapping_add(s.event);
+            let at = wheel.now() + bds_des::Duration::from_millis(delay(&mut r));
+            wheel.schedule_at(at, s.event);
+        }
+        sum
+    });
+
+    let mut heap = HeapQueue::default();
+    let mut r = Xoshiro256::seed_from_u64(7);
+    for _ in 0..n {
+        heap.push(delay(&mut r));
+    }
+    bench(&format!("heap_churn_hold_{n}_x1k"), || {
+        let mut sum = 0u64;
+        for _ in 0..ops {
+            let (at, id) = heap.pop().expect("queue never drains");
+            sum = sum.wrapping_add(id);
+            heap.push(at + delay(&mut r));
+        }
+        sum
+    });
+}
+
+/// Bulk build-up and full drain of `n` events.
+fn bench_bulk(n: u64) {
+    bench(&format!("wheel_push_drain_{n}"), || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r = Xoshiro256::seed_from_u64(1);
+        for i in 0..n {
+            q.schedule_at(SimTime::from_millis(delay(&mut r)), i);
+        }
+        let mut sum = 0u64;
+        while let Some(s) = q.pop() {
+            sum = sum.wrapping_add(s.event);
+        }
+        sum
+    });
+    bench(&format!("heap_push_drain_{n}"), || {
+        let mut q = HeapQueue::default();
+        let mut r = Xoshiro256::seed_from_u64(1);
+        for _ in 0..n {
+            q.push(delay(&mut r));
+        }
+        let mut sum = 0u64;
+        while let Some((_, id)) = q.pop() {
+            sum = sum.wrapping_add(id);
+        }
+        sum
+    });
+}
+
+fn main() {
+    bench_churn(1_000);
+    bench_churn(100_000);
+    bench_bulk(100_000);
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR]
-//!       [--faults PLAN] [artifact...]
+//!       [--faults PLAN] [--scale] [artifact...]
 //! ```
 //!
 //! With no artifact arguments, every table and figure is regenerated in
@@ -29,6 +29,15 @@
 //! (`fig8_<sched>.timeseries.csv`), plus one cross-scheduler
 //! `fig8_percentiles.csv` with the log-bucketed response-time
 //! percentiles.
+//!
+//! `--scale` switches to the web-scale smoke target: instead of the
+//! paper artifacts, one 100-DPN, million-transaction C2PL run (Exp. 1,
+//! 2000 files, λ = 10 TPS, 10⁵ s horizon) is driven to the horizon and
+//! held to a fixed wall-clock and peak-RSS budget (see EXPERIMENTS.md).
+//! The process exits nonzero when either budget is exceeded, so CI can
+//! gate on it directly. Memory stays O(DPNs + live transactions) — the
+//! streaming statistics and arena'd lifecycle state never hold
+//! per-transaction samples — which is what the RSS budget pins.
 //!
 //! `--faults PLAN` switches to chaos mode: instead of the paper
 //! artifacts, the high-contention Fig. 8 point is run per paper
@@ -68,7 +77,7 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: repro [--quick] [--csv] [--jobs N] [--trace DIR] [--metrics DIR] \
-         [--faults PLAN] [artifact...]"
+         [--faults PLAN] [--scale] [artifact...]"
     );
     std::process::exit(2);
 }
@@ -172,6 +181,112 @@ fn run_chaos(plan: &FaultPlan, opts: &ExpOptions, csv: bool, metrics_dir: Option
         }
         eprintln!("[chaos summary -> {path}]");
     }
+}
+
+/// Wall-clock budget for the `--scale` smoke run. The run takes ~25 s
+/// on a current dev machine; the budget leaves 4–5× headroom for shared
+/// CI runners while still catching a complexity regression (an
+/// O(transactions) structure on the hot path blows straight through).
+const SCALE_WALL_BUDGET_SECS: f64 = 120.0;
+
+/// Peak-RSS budget for the `--scale` smoke run. Steady state is
+/// ~50 MiB; O(transactions) memory (full response-time samples, leaked
+/// arena slots, an unbounded event list) hits hundreds of MiB.
+const SCALE_RSS_BUDGET_MIB: f64 = 256.0;
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`; `None` off Linux or when unreadable).
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// `--scale` smoke: one 100-DPN, million-transaction run under C2PL,
+/// gated on wall clock and peak RSS. Writes `BENCH_scale.json` and
+/// exits nonzero over budget.
+fn run_scale_smoke() -> ! {
+    // 2000 files keep C2PL comfortably stable (per-file lock
+    // utilization ≈ 2.5 %): the smoke pins engine cost at scale, not
+    // lock-thrashing dynamics — the paper's figures cover those.
+    let num_files = 2_000;
+    let mut cfg = SimConfig::new(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files });
+    cfg.costs.num_nodes = 100;
+    cfg.lambda_tps = 10.0;
+    cfg.horizon = Duration::from_secs(100_000);
+    eprintln!(
+        "scale smoke: {} DPNs, {num_files} files, λ = {} TPS, horizon {:.0}s (≈ 1e6 arrivals)",
+        cfg.costs.num_nodes,
+        cfg.lambda_tps,
+        cfg.horizon.as_secs_f64()
+    );
+    let t0 = Instant::now();
+    let report = Simulator::run(&cfg);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let rss_mib = peak_rss_mib();
+    let events_per_sec = report.events as f64 / wall_secs;
+    eprintln!(
+        "scale smoke: {} arrived, {} committed, {} events in {wall_secs:.1}s \
+         ({:.2}M events/s), peak RSS {}",
+        report.arrived,
+        report.completed,
+        report.events,
+        events_per_sec / 1e6,
+        match rss_mib {
+            Some(m) => format!("{m:.0} MiB"),
+            None => "unavailable".into(),
+        }
+    );
+    let mut o = JsonObj::new();
+    o.str("bin", "repro --scale");
+    o.num("wall_secs", wall_secs);
+    o.num("events_per_sec_m", events_per_sec / 1e6);
+    o.int("arrived", report.arrived);
+    o.int("completed", report.completed);
+    o.int("events", report.events);
+    if let Some(m) = rss_mib {
+        o.num("peak_rss_mib", m);
+    }
+    let json = o.finish();
+    if let Err(e) = std::fs::write("BENCH_scale.json", format!("{json}\n")) {
+        eprintln!("warning: could not write BENCH_scale.json: {e}");
+    }
+    // Sanity: the run must actually be web scale and make progress.
+    let mut failed = false;
+    if report.arrived < 900_000 {
+        eprintln!(
+            "scale smoke FAIL: only {} arrivals (expected ≈ 1e6)",
+            report.arrived
+        );
+        failed = true;
+    }
+    if report.completed < report.arrived / 2 {
+        eprintln!(
+            "scale smoke FAIL: only {} of {} committed",
+            report.completed, report.arrived
+        );
+        failed = true;
+    }
+    if wall_secs > SCALE_WALL_BUDGET_SECS {
+        eprintln!("scale smoke FAIL: {wall_secs:.1}s wall > {SCALE_WALL_BUDGET_SECS:.0}s budget");
+        failed = true;
+    }
+    if let Some(m) = rss_mib {
+        if m > SCALE_RSS_BUDGET_MIB {
+            eprintln!(
+                "scale smoke FAIL: {m:.0} MiB peak RSS > {SCALE_RSS_BUDGET_MIB:.0} MiB budget"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "scale smoke OK (≤ {SCALE_WALL_BUDGET_SECS:.0}s wall, ≤ {SCALE_RSS_BUDGET_MIB:.0} MiB RSS)"
+    );
+    std::process::exit(0);
 }
 
 /// The traced Fig. 8 point: high contention, where the schedulers'
@@ -436,6 +551,45 @@ fn measure_trace_overhead(bench: &mut JsonObj) {
     );
 }
 
+/// Measure the timing-wheel event queue under steady-state churn (the
+/// access pattern of a long run): hold-N pending, each op pops the
+/// earliest event and schedules a replacement a mixed delay ahead. The
+/// `ns_per`-named fields are time-classified by `benchdiff`, so a
+/// complexity regression in the wheel trips the CI gate.
+fn measure_event_queue(bench: &mut JsonObj) {
+    use batchsched::des::rng::Xoshiro256;
+    use batchsched::des::EventQueue;
+    fn delay(r: &mut Xoshiro256) -> u64 {
+        match r.next_range(10) {
+            0..=5 => r.next_range(1 << 8),
+            6..=8 => r.next_range(1 << 16),
+            _ => r.next_range(1 << 24),
+        }
+    }
+    let mut o = JsonObj::new();
+    for n in [1_000u64, 100_000] {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r = Xoshiro256::seed_from_u64(7);
+        for i in 0..n {
+            q.schedule_at(SimTime::from_millis(delay(&mut r)), i);
+        }
+        let ops = 1_000_000u64;
+        let t0 = Instant::now();
+        let mut sum = 0u64;
+        for _ in 0..ops {
+            let s = q.pop().expect("queue never drains");
+            sum = sum.wrapping_add(s.event);
+            let at = q.now() + Duration::from_millis(delay(&mut r));
+            q.schedule_at(at, s.event);
+        }
+        let ns_per_op = t0.elapsed().as_nanos() as f64 / ops as f64;
+        std::hint::black_box(sum);
+        o.num(&format!("churn_hold_{n}_ns_per_op"), ns_per_op);
+        eprintln!("[event_queue churn hold-{n}: {ns_per_op:.1} ns/op]");
+    }
+    bench.raw("event_queue", &o.finish());
+}
+
 /// Wall-clock one fixed high-contention Fig. 8 point (Exp. 1, 16 files,
 /// λ = 1.1, 200 s horizon) per paper scheduler. The scheduler decision
 /// hot path dominates this point, so these timings track the
@@ -468,6 +622,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    if args.iter().any(|a| a == "--scale") {
+        run_scale_smoke();
+    }
     let mut jobs = default_jobs();
     let mut trace_dir: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
@@ -589,6 +746,7 @@ fn main() {
     bench.str("bin", "repro");
     measure_trace_overhead(&mut bench);
     measure_scheduler_wallclock(&mut bench);
+    measure_event_queue(&mut bench);
     bench.int("jobs", opts.jobs as u64);
     bench.raw("quick", if quick { "true" } else { "false" });
     bench.num("horizon_secs", opts.horizon.as_secs_f64());

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub(crate) mod arena;
 pub mod config;
 pub mod driver;
 pub mod experiments;

@@ -24,6 +24,7 @@
 //! defers only the transaction's own progress), which keeps the
 //! simulation deterministic.
 
+use crate::arena::{Arena, IdMap};
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use bds_des::fcfs::FcfsServer;
@@ -39,7 +40,7 @@ use bds_workload::arrivals::PoissonArrivals;
 use bds_workload::gen::WorkloadGen;
 use bds_workload::{BatchSpec, FileId};
 use bds_wtpg::TxnId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +97,9 @@ enum AbortCause {
 
 #[derive(Debug)]
 struct PendingReq {
+    /// Submission sequence number; the `pending` vec is kept in
+    /// ascending `seq` order, which is also retry order.
+    seq: u64,
     id: TxnId,
     step: usize,
     file: FileId,
@@ -125,16 +129,28 @@ pub struct Simulator {
     scheduler: Box<dyn Scheduler>,
     arrivals: PoissonArrivals,
     genr: Box<dyn WorkloadGen>,
-    txns: BTreeMap<TxnId, Txn>,
+    /// In-flight transactions in a slot arena (free-list reuse; see
+    /// [`crate::arena`]) — never iterated, so the unordered index is
+    /// determinism-safe.
+    txns: Arena<Txn>,
     start_queue: VecDeque<TxnId>,
-    pending: BTreeMap<u64, PendingReq>,
+    /// Blocked/delayed lock requests in ascending `seq` order (inserts
+    /// always append — `next_seq` is monotone — and removals preserve
+    /// order), so retry sweeps visit requests in the same submission
+    /// order the original `BTreeMap<u64, _>` gave.
+    pending: Vec<PendingReq>,
     next_txn: u64,
     next_seq: u64,
     next_cohort: u64,
-    cohort_owner: BTreeMap<CohortId, TxnId>,
+    /// Live cohort → owning transaction (unordered; lookups only).
+    cohort_owner: IdMap,
     live: TimeWeighted,
     rt: Welford,
-    rt_hist: Histogram,
+    /// Legacy 1-second-bin response-time histogram; allocated only under
+    /// `cfg.legacy_second_bin_percentiles` (the log-bucketed `rt_log`
+    /// serves percentiles otherwise), keeping per-run memory off the
+    /// O(horizon) histogram in the default configuration.
+    rt_hist: Option<Histogram>,
     arrived: u64,
     started: u64,
     completed: u64,
@@ -276,17 +292,20 @@ impl Simulator {
             scheduler: cfg.scheduler.build(&cfg.costs),
             arrivals,
             genr,
-            txns: BTreeMap::new(),
+            txns: Arena::new(),
             start_queue: VecDeque::new(),
-            pending: BTreeMap::new(),
+            pending: Vec::new(),
             next_txn: 1,
             next_seq: 1,
             next_cohort: 1,
-            cohort_owner: BTreeMap::new(),
+            cohort_owner: IdMap::new(),
             live: TimeWeighted::new(SimTime::ZERO, 0.0),
             rt: Welford::new(),
-            // 1-second buckets over the whole horizon range.
-            rt_hist: Histogram::new(1.0, 4000),
+            // 1-second buckets over the whole horizon range; only the
+            // legacy percentile engine reads it, so only then allocate.
+            rt_hist: cfg
+                .legacy_second_bin_percentiles
+                .then(|| Histogram::new(1.0, 4000)),
             arrived: 0,
             started: 0,
             completed: 0,
@@ -479,10 +498,9 @@ impl Simulator {
     /// log-bucketed histogram (≤ 1 % relative error) by default, or the
     /// legacy 1-second-bin histogram under the compatibility flag.
     fn rt_quantile(&self, q: f64) -> Option<f64> {
-        if self.cfg.legacy_second_bin_percentiles {
-            self.rt_hist.quantile(q)
-        } else {
-            self.rt_log.quantile(q)
+        match &self.rt_hist {
+            Some(h) => h.quantile(q),
+            None => self.rt_log.quantile(q),
         }
     }
 
@@ -585,6 +603,26 @@ impl Simulator {
         self.events.now()
     }
 
+    /// The lifecycle record of a live transaction.
+    ///
+    /// # Panics
+    /// Panics if `id` is not in flight.
+    fn txn(&self, id: TxnId) -> &Txn {
+        self.txns.get(id.0).expect("unknown txn")
+    }
+
+    /// Position of a pending request by its submission seq.
+    fn pending_pos(&self, seq: u64) -> Option<usize> {
+        self.pending.binary_search_by_key(&seq, |p| p.seq).ok()
+    }
+
+    /// Drop a pending request by seq (no-op when already gone).
+    fn remove_pending(&mut self, seq: u64) {
+        if let Some(i) = self.pending_pos(seq) {
+            self.pending.remove(i);
+        }
+    }
+
     /// Enqueue CN work, tracing the busy span `[begin, end]` when the
     /// demand is non-zero. `what` labels the burst ("sot", "cot", …).
     fn cn_work(
@@ -663,7 +701,7 @@ impl Simulator {
         }
         self.scheduler.register(id, spec.clone());
         self.txns.insert(
-            id,
+            id.0,
             Txn {
                 spec,
                 arrival: now,
@@ -716,7 +754,7 @@ impl Simulator {
                         kind: EventKind::Admit { txn: id },
                     });
                     self.trace_edges();
-                    let txn = self.txns.get_mut(&id).expect("admitted unknown txn");
+                    let txn = self.txns.get_mut(id.0).expect("admitted unknown txn");
                     if !txn.ever_started {
                         txn.ever_started = true;
                         self.started += 1;
@@ -759,7 +797,7 @@ impl Simulator {
     }
 
     fn begin_step(&mut self, id: TxnId, step: usize) {
-        let needs_lock = self.txns[&id].spec.needs_lock_request(step);
+        let needs_lock = self.txn(id).spec.needs_lock_request(step);
         if needs_lock {
             self.submit_request(id, step, None);
         } else {
@@ -781,7 +819,7 @@ impl Simulator {
     fn submit_request(&mut self, id: TxnId, step: usize, pending_seq: Option<u64>) -> bool {
         let now = self.now();
         self.lock_requests += 1;
-        let file = self.txns[&id].spec.steps[step].file;
+        let file = self.txn(id).spec.steps[step].file;
         self.tracer.emit(|| Rec {
             at: now,
             kind: EventKind::LockRequest {
@@ -803,7 +841,7 @@ impl Simulator {
                 });
                 self.trace_edges();
                 if let Some(seq) = pending_seq {
-                    self.pending.remove(&seq);
+                    self.remove_pending(seq);
                 }
                 let done = self.cn_work(
                     now,
@@ -835,7 +873,7 @@ impl Simulator {
                     self.cn_work(now, outcome.cpu, Some(id), "sched");
                 }
                 if let Some(seq) = pending_seq {
-                    self.pending.remove(&seq);
+                    self.remove_pending(seq);
                 }
                 self.restart_txn(id);
                 false
@@ -873,23 +911,24 @@ impl Simulator {
                 });
                 match pending_seq {
                     Some(seq) => {
-                        let p = self.pending.get_mut(&seq).expect("pending vanished");
+                        let i = self.pending_pos(seq).expect("pending vanished");
+                        let p = &mut self.pending[i];
                         p.kind = kind;
                         p.eligible = false;
                     }
                     None => {
                         let seq = self.next_seq;
                         self.next_seq += 1;
-                        self.pending.insert(
+                        // `next_seq` is monotone, so this append keeps
+                        // `pending` sorted by seq.
+                        self.pending.push(PendingReq {
                             seq,
-                            PendingReq {
-                                id,
-                                step,
-                                file,
-                                kind,
-                                eligible: false,
-                            },
-                        );
+                            id,
+                            step,
+                            file,
+                            kind,
+                            eligible: false,
+                        });
                     }
                 }
                 self.arm_retry_tick();
@@ -901,7 +940,7 @@ impl Simulator {
     fn dispatch_step(&mut self, id: TxnId, step: usize) {
         let now = self.now();
         let (file, cost) = {
-            let s = &self.txns[&id].spec.steps[step];
+            let s = &self.txn(id).spec.steps[step];
             (s.file, s.cost)
         };
         self.tracer.emit(|| Rec {
@@ -928,14 +967,14 @@ impl Simulator {
         }
         let quantum = self.cfg.costs.quantum(self.cfg.dd);
         self.txns
-            .get_mut(&id)
+            .get_mut(id.0)
             .expect("dispatch unknown txn")
             .outstanding_cohorts = nodes.len() as u32;
         let start_at = now + self.cfg.costs.net_delay;
         for node in nodes {
             let cid = CohortId(self.next_cohort);
             self.next_cohort += 1;
-            self.cohort_owner.insert(cid, id);
+            self.cohort_owner.insert(cid.0, id.0);
             let cohort = Cohort {
                 id: cid,
                 remaining: work,
@@ -1001,7 +1040,7 @@ impl Simulator {
     /// routing when the target is down. Drops the cohort silently when
     /// its owner was aborted while the message was in flight.
     fn deliver_cohort(&mut self, now: SimTime, node: u32, cohort: Cohort) {
-        let Some(&owner) = self.cohort_owner.get(&cohort.id) else {
+        let Some(owner) = self.cohort_owner.get(cohort.id.0).map(TxnId) else {
             return;
         };
         let target = if self.node_up[node as usize] {
@@ -1016,7 +1055,7 @@ impl Simulator {
             self.held_cohorts.push((node, cohort));
             return;
         };
-        let step = self.txns[&owner].step as u32;
+        let step = self.txn(owner).step as u32;
         self.tracer.emit(|| Rec {
             at: now,
             kind: EventKind::CohortStart {
@@ -1057,7 +1096,7 @@ impl Simulator {
         }
         if self.tracer.enabled() {
             // Owner lookup must precede the `finished` removal below.
-            if let Some(&txn) = self.cohort_owner.get(&out.ran) {
+            if let Some(txn) = self.cohort_owner.get(out.ran.0).map(TxnId) {
                 let start = now - out.slice;
                 self.tracer.emit(|| Rec {
                     at: now,
@@ -1066,7 +1105,7 @@ impl Simulator {
             }
         }
         if let Some(cid) = out.finished {
-            let id = match self.cohort_owner.remove(&cid) {
+            let id = match self.cohort_owner.remove(cid.0).map(TxnId) {
                 Some(id) => id,
                 None => {
                     // Orphan of a fault-aborted transaction: its CPU was
@@ -1075,7 +1114,7 @@ impl Simulator {
                     return;
                 }
             };
-            let cur_step = self.txns[&id].step as u32;
+            let cur_step = self.txn(id).step as u32;
             self.tracer.emit(|| Rec {
                 at: now,
                 kind: EventKind::CohortFinish {
@@ -1085,7 +1124,7 @@ impl Simulator {
                 },
             });
             let step = {
-                let txn = self.txns.get_mut(&id).expect("cohort of unknown txn");
+                let txn = self.txns.get_mut(id.0).expect("cohort of unknown txn");
                 txn.outstanding_cohorts -= 1;
                 if txn.outstanding_cohorts > 0 {
                     return;
@@ -1115,9 +1154,9 @@ impl Simulator {
             },
         });
         self.scheduler.step_complete(id, step);
-        let total_steps = self.txns[&id].spec.len();
+        let total_steps = self.txn(id).spec.len();
         let next = step + 1;
-        self.txns.get_mut(&id).expect("unknown txn").step = next;
+        self.txns.get_mut(id.0).expect("unknown txn").step = next;
         if next < total_steps {
             self.begin_step(id, next);
         } else {
@@ -1143,7 +1182,7 @@ impl Simulator {
             let mut touched = std::mem::take(&mut self.released_buf);
             touched.clear();
             self.scheduler.commit_into(id, &mut touched);
-            let txn = self.txns.remove(&id).expect("commit of unknown txn");
+            let txn = self.txns.remove(id.0).expect("commit of unknown txn");
             self.live.add(now, -1.0);
             self.completed += 1;
             self.tracer.emit(|| Rec {
@@ -1152,7 +1191,9 @@ impl Simulator {
             });
             let rt_secs = now.since(txn.arrival).as_secs_f64();
             self.rt.push(rt_secs);
-            self.rt_hist.record(rt_secs);
+            if let Some(h) = &mut self.rt_hist {
+                h.record(rt_secs);
+            }
             self.rt_log.record_secs(rt_secs);
             // Files the committed transaction touched (declared), even
             // if the scheduler held no lock on them (OPT): their
@@ -1191,7 +1232,7 @@ impl Simulator {
             kind: EventKind::Abort { txn: id },
         });
         let kills = if cause == AbortCause::Fault {
-            let txn = self.txns.get_mut(&id).expect("fault abort of unknown txn");
+            let txn = self.txns.get_mut(id.0).expect("fault abort of unknown txn");
             txn.fault_kills += 1;
             txn.fault_kills
         } else {
@@ -1208,7 +1249,7 @@ impl Simulator {
         }
         self.live.add(now, -1.0);
         let had_cohorts = {
-            let txn = self.txns.get_mut(&id).expect("abort of unknown txn");
+            let txn = self.txns.get_mut(id.0).expect("abort of unknown txn");
             let had = txn.outstanding_cohorts > 0;
             txn.step = 0;
             txn.outstanding_cohorts = 0;
@@ -1219,10 +1260,10 @@ impl Simulator {
             // or in-flight cohorts lose their owner and are dropped when
             // they finish or arrive. Only fault aborts can get here —
             // scheduler/validation aborts never have work outstanding.
-            self.cohort_owner.retain(|_, owner| *owner != id);
+            self.cohort_owner.retain(|_, owner| owner != id.0);
         }
         if kill_for_good {
-            self.txns.remove(&id);
+            self.txns.remove(id.0);
             self.killed += 1;
             self.retry_hist.record_ticks(u64::from(kills));
             self.tracer.emit(|| Rec {
@@ -1233,7 +1274,7 @@ impl Simulator {
                 },
             });
             // Defensive: a killed transaction must not linger anywhere.
-            self.pending.retain(|_, p| p.id != id);
+            self.pending.retain(|p| p.id != id);
         } else {
             let delay = if cause == AbortCause::Fault {
                 self.cfg.faults.retry.delay_for(kills)
@@ -1272,7 +1313,7 @@ impl Simulator {
                 let lost = self.dpns[n].crash(now);
                 let mut victims: Vec<TxnId> = lost
                     .iter()
-                    .filter_map(|cid| self.cohort_owner.remove(cid))
+                    .filter_map(|cid| self.cohort_owner.remove(cid.0).map(TxnId))
                     .collect();
                 victims.sort_unstable();
                 victims.dedup();
@@ -1327,7 +1368,7 @@ impl Simulator {
     /// waking every delayed request on every commit would melt the CN
     /// under C2PL's hundreds of live transactions.
     fn wake_waiters(&mut self, touched: &[FileId]) {
-        for p in self.pending.values_mut() {
+        for p in &mut self.pending {
             if touched.contains(&p.file) {
                 p.eligible = true;
             }
@@ -1340,15 +1381,13 @@ impl Simulator {
     fn sweep_retries(&mut self) {
         let mut eligible = std::mem::take(&mut self.eligible_buf);
         eligible.clear();
-        eligible.extend(
-            self.pending
-                .iter()
-                .filter(|(_, p)| p.eligible)
-                .map(|(&s, _)| s),
-        );
+        eligible.extend(self.pending.iter().filter(|p| p.eligible).map(|p| p.seq));
         for &seq in &eligible {
-            let (id, step) = match self.pending.get_mut(&seq) {
-                Some(p) => {
+            // A retry earlier in this sweep may have removed (or
+            // restarted) this request; look it up fresh each time.
+            let (id, step) = match self.pending_pos(seq) {
+                Some(i) => {
+                    let p = &mut self.pending[i];
                     p.eligible = false;
                     (p.id, p.step)
                 }
@@ -1369,7 +1408,7 @@ impl Simulator {
 
     fn on_retry_tick(&mut self) {
         self.retry_tick_armed = false;
-        for p in self.pending.values_mut() {
+        for p in &mut self.pending {
             p.eligible = true;
         }
         self.sweep_retries();

@@ -169,8 +169,21 @@ impl Discrete {
         match self.cumulative.iter().position(|&c| u < c) {
             Some(i) => i,
             // u can only reach the final bucket boundary through rounding.
-            None => self.cumulative.len() - 1,
+            None => self.fallback_index(),
         }
+    }
+
+    /// Index drawn when rounding pushes `u` past every bucket boundary:
+    /// the *last index with nonzero weight*. Trailing zero-weight entries
+    /// repeat the previous cumulative value, so falling back to
+    /// `len() - 1` could return an index that must never be drawn (e.g.
+    /// weights `[1.0, 0.0]`).
+    fn fallback_index(&self) -> usize {
+        let mut i = self.cumulative.len() - 1;
+        while i > 0 && self.cumulative[i] <= self.cumulative[i - 1] {
+            i -= 1;
+        }
+        i
     }
 }
 
@@ -276,5 +289,25 @@ mod tests {
     #[should_panic(expected = "all weights zero")]
     fn discrete_rejects_zero_weights() {
         Discrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rounding_fallback_skips_trailing_zero_weights() {
+        // The fallback index must always carry nonzero weight — falling
+        // back to `len() - 1` would return a forbidden index whenever the
+        // table ends in zero weights.
+        assert_eq!(Discrete::new(&[1.0, 0.0]).fallback_index(), 0);
+        assert_eq!(Discrete::new(&[0.5, 0.5, 0.0, 0.0]).fallback_index(), 1);
+        assert_eq!(Discrete::new(&[1.0, 2.0]).fallback_index(), 1);
+        assert_eq!(Discrete::new(&[0.0, 1.0]).fallback_index(), 1);
+    }
+
+    #[test]
+    fn trailing_zero_weight_is_never_drawn() {
+        let d = Discrete::new(&[1.0, 0.0]);
+        let mut r = rng();
+        for _ in 0..100_000 {
+            assert_eq!(d.sample_index(&mut r), 0);
+        }
     }
 }

@@ -78,7 +78,10 @@ impl Xoshiro256 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// A uniform `f64` in the open interval `(0, 1]` — safe for `ln()`.
+    /// A uniform `f64` in the half-open interval `(0, 1]` — zero is
+    /// excluded and 1.0 included, so `ln()` of the result is always
+    /// finite and non-positive (the contract [`crate::dist::Exponential`]
+    /// and [`crate::dist::Normal`] rely on).
     #[inline]
     pub fn next_f64_open(&mut self) -> f64 {
         1.0 - self.next_f64()
@@ -167,6 +170,28 @@ mod tests {
             let y = r.next_f64_open();
             assert!(y > 0.0 && y <= 1.0);
         }
+    }
+
+    #[test]
+    fn f64_open_boundaries_are_ln_safe() {
+        // Pin the (0, 1] contract at the extreme raw outputs rather than
+        // by sampling. next_u64 = rotl(s0 + s3, 23) + s0, so states with
+        // s0 = 0 emit rotl(s3, 23) as the next output.
+        //
+        // Raw output 0 is the smallest next_f64 (0.0) and the largest
+        // next_f64_open: exactly 1.0, whose ln() is 0.
+        let mut r = Xoshiro256 { s: [0, 1, 2, 0] };
+        assert_eq!(r.next_f64_open(), 1.0);
+        assert_eq!(1.0_f64.ln(), 0.0);
+        // Raw output u64::MAX is the largest next_f64 (1 − 2⁻⁵³) and the
+        // smallest next_f64_open: 2⁻⁵³, still strictly positive with a
+        // finite ln().
+        let mut r = Xoshiro256 {
+            s: [0, 1, 2, u64::MAX.rotate_right(23)],
+        };
+        let smallest = r.next_f64_open();
+        assert_eq!(smallest, 1.0 / (1u64 << 53) as f64);
+        assert!(smallest > 0.0 && smallest.ln().is_finite());
     }
 
     #[test]
