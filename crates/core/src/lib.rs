@@ -46,14 +46,15 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
-pub(crate) mod arena;
-pub mod config;
 pub mod driver;
 pub mod experiments;
-pub mod metrics;
 pub mod parallel;
 pub mod report;
-pub mod sim;
+
+// The simulator core (config, event loop, report types) lives in the
+// `bds-engine` crate since the step-engine refactor; re-export its
+// modules under their historical paths so downstream code is unchanged.
+pub use bds_engine::{config, metrics, sim};
 
 pub use config::{SimConfig, WorkloadKind};
 pub use metrics::SimReport;
@@ -63,6 +64,7 @@ pub use sim::Simulator;
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use bds_des as des;
+pub use bds_engine as engine;
 pub use bds_fault as fault;
 pub use bds_machine as machine;
 pub use bds_metrics as telemetry;

@@ -87,6 +87,17 @@ impl Normal {
     pub fn std_dev(&self) -> f64 {
         self.std_dev
     }
+
+    /// The cached Box–Muller spare variate, for checkpointing. `None` when
+    /// the next [`Sample::sample`] call will draw a fresh pair.
+    pub fn spare(&self) -> Option<f64> {
+        self.spare
+    }
+
+    /// Restore the cached spare variate captured by [`Normal::spare`].
+    pub fn set_spare(&mut self, spare: Option<f64>) {
+        self.spare = spare;
+    }
 }
 
 impl Sample for Normal {
@@ -160,6 +171,30 @@ impl Discrete {
         for c in &mut cumulative {
             *c /= total;
         }
+        Discrete { cumulative }
+    }
+
+    /// The normalized cumulative weight table, for checkpointing.
+    pub fn state(&self) -> &[f64] {
+        &self.cumulative
+    }
+
+    /// Rebuild from a cumulative table captured by [`Discrete::state`].
+    ///
+    /// # Panics
+    /// Panics if the table is empty, non-monotone, or does not end at 1.0
+    /// (within rounding).
+    pub fn from_state(cumulative: Vec<f64>) -> Self {
+        assert!(!cumulative.is_empty(), "Discrete: empty cumulative table");
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "Discrete: cumulative table must be non-decreasing"
+        );
+        let last = *cumulative.last().unwrap();
+        assert!(
+            (last - 1.0).abs() < 1e-9,
+            "Discrete: cumulative table must end at 1.0, got {last}"
+        );
         Discrete { cumulative }
     }
 
@@ -289,6 +324,34 @@ mod tests {
     #[should_panic(expected = "all weights zero")]
     fn discrete_rejects_zero_weights() {
         Discrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normal_spare_round_trip_resumes_stream() {
+        // Capture at every parity of the Box–Muller pair cache; the
+        // restored sampler must produce the identical tail.
+        let mut d = Normal::new(1.0, 2.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut d2 = d;
+            d2.set_spare(d.spare());
+            let mut r2 = Xoshiro256::from_state(r.state());
+            for _ in 0..7 {
+                assert_eq!(d2.sample(&mut r2), d.sample(&mut r));
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_state_round_trip_is_identical() {
+        let d = Discrete::new(&[1.0, 3.0, 0.0, 6.0]);
+        let d2 = Discrete::from_state(d.state().to_vec());
+        assert_eq!(d, d2);
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..10_000 {
+            assert_eq!(d.sample_index(&mut ra), d2.sample_index(&mut rb));
+        }
     }
 
     #[test]

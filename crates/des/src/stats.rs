@@ -82,6 +82,26 @@ impl Welford {
         self.max
     }
 
+    /// Raw accumulator state `(count, mean, m2, min, max)`, for
+    /// checkpointing. Restoring it bit-exactly with
+    /// [`Welford::from_state`] resumes the stream of observations with
+    /// no loss of precision.
+    pub fn state(&self) -> (u64, f64, f64, Option<f64>, Option<f64>) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from a state captured by
+    /// [`Welford::state`].
+    pub fn from_state(count: u64, mean: f64, m2: f64, min: Option<f64>, max: Option<f64>) -> Self {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merge another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Welford) {
         if other.count == 0 {
@@ -152,6 +172,23 @@ impl TimeWeighted {
         self.value
     }
 
+    /// Raw state `(last_change, value, weighted_sum, start)`, for
+    /// checkpointing; restore with [`TimeWeighted::from_state`].
+    pub fn state(&self) -> (SimTime, f64, f64, SimTime) {
+        (self.last_change, self.value, self.weighted_sum, self.start)
+    }
+
+    /// Rebuild a tracker from a state captured by
+    /// [`TimeWeighted::state`].
+    pub fn from_state(last_change: SimTime, value: f64, weighted_sum: f64, start: SimTime) -> Self {
+        TimeWeighted {
+            last_change,
+            value,
+            weighted_sum,
+            start,
+        }
+    }
+
     /// Time average over `[start, now]`.
     pub fn average(&self, now: SimTime) -> f64 {
         let total = now.since(self.start).as_millis() as f64;
@@ -215,6 +252,33 @@ impl Histogram {
     /// Bucket counts (excluding overflow).
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Rebuild a histogram from raw parts (checkpointing counterpart of
+    /// [`Histogram::width`] / [`Histogram::counts`] /
+    /// [`Histogram::overflow`] / [`Histogram::total`]).
+    ///
+    /// # Panics
+    /// Panics if the shape is invalid or the counts do not sum to
+    /// `total`.
+    pub fn from_state(width: f64, counts: Vec<u64>, overflow: u64, total: u64) -> Self {
+        assert!(width > 0.0 && !counts.is_empty(), "invalid histogram shape");
+        assert_eq!(
+            counts.iter().sum::<u64>() + overflow,
+            total,
+            "histogram counts do not sum to total"
+        );
+        Histogram {
+            width,
+            counts,
+            overflow,
+            total,
+        }
     }
 
     /// Approximate `q`-quantile (`0 ≤ q ≤ 1`) assuming observations sit at

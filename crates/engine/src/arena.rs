@@ -165,6 +165,18 @@ impl IdMap {
         }
     }
 
+    /// All live `(key, value)` pairs in unspecified order. Callers that
+    /// need determinism (the checkpoint layer) must sort the result —
+    /// bucket order depends on insertion history.
+    pub(crate) fn pairs(&self) -> Vec<(u64, u64)> {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|&(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
     fn grow(&mut self) {
         let new_cap = (self.mask + 1) * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
@@ -247,6 +259,12 @@ impl<V> Arena<V> {
         let slot = self.index.remove(id)?;
         self.free.push(slot as u32);
         self.slots[slot as usize].take()
+    }
+
+    /// All live ids in unspecified order (see [`IdMap::pairs`]); the
+    /// checkpoint layer sorts before use.
+    pub(crate) fn ids(&self) -> Vec<u64> {
+        self.index.pairs().into_iter().map(|(k, _)| k).collect()
     }
 
     /// Arena occupancy as `(allocated_slots, free_listed_slots)`; the
@@ -369,6 +387,28 @@ mod tests {
         let mut a: Arena<u32> = Arena::new();
         a.insert(7, 1);
         a.insert(7, 2);
+    }
+
+    #[test]
+    fn pairs_and_ids_enumerate_live_entries() {
+        let mut m = IdMap::new();
+        for i in 1..=50u64 {
+            m.insert(i, i * 2);
+        }
+        m.remove(10);
+        let mut pairs = m.pairs();
+        pairs.sort_unstable();
+        let expect: Vec<(u64, u64)> = (1..=50).filter(|&i| i != 10).map(|i| (i, i * 2)).collect();
+        assert_eq!(pairs, expect);
+
+        let mut a: Arena<u64> = Arena::new();
+        for i in [3u64, 1, 7] {
+            a.insert(i, i);
+        }
+        a.remove(1);
+        let mut ids = a.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 7]);
     }
 
     #[test]

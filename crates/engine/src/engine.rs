@@ -1,5 +1,6 @@
-//! The discrete-event simulator: §4.1's machine executing §2's batch
-//! transactions under one of §3/§4.2's schedulers.
+//! The incremental step engine: §4.1's machine executing §2's batch
+//! transactions under one of §3/§4.2's schedulers, driven one event at
+//! a time.
 //!
 //! ## Transaction lifecycle
 //!
@@ -23,10 +24,29 @@
 //! decisions take effect at the event that issued them (the CPU time
 //! defers only the transaction's own progress), which keeps the
 //! simulation deterministic.
+//!
+//! ## Engine vs. Simulator
+//!
+//! [`Engine`] owns the single event loop. [`Engine::step`] pops exactly
+//! one event and (when effect reporting is enabled) returns the
+//! externally visible [`Effect`]s it produced; [`Engine::run_until`] and
+//! [`Engine::run_to_horizon`] drive the same internal `pump` in bulk.
+//! The historical [`crate::sim::Simulator`] API is a thin adapter over
+//! an `Engine`.
+//!
+//! Three optional observers ride on the hot loop, each costing one
+//! predictable branch when off (the same pattern as `bds-trace`'s
+//! `Tracer`): the tracer, the metrics sampler, and the effect buffer.
+//! A fourth — the scheduler op-log behind [`Engine::snapshot`] — is
+//! enabled by [`Engine::enable_checkpointing`] and records every
+//! scheduler call so a restore can rebuild the scheduler by replay
+//! (schedulers are deterministic, RNG-free state machines).
 
 use crate::arena::{Arena, IdMap};
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
+use crate::snapshot::{DpnState, HistState, MetricsState, SchedOp, Snapshot};
+use bds_des::events::Scheduled;
 use bds_des::fcfs::FcfsServer;
 use bds_des::stats::{Histogram, TimeWeighted, Welford};
 use bds_des::time::{Duration, SimTime};
@@ -34,7 +54,7 @@ use bds_des::EventQueue;
 use bds_fault::{DegradedMode, FaultAction};
 use bds_machine::{Cohort, CohortId, Dpn, Placement};
 use bds_metrics::{LogHistogram, Sampler, TimeSeries};
-use bds_sched::{ReqDecision, Scheduler, StartDecision};
+use bds_sched::{ReqDecision, Scheduler, SchedulerKind, StartDecision};
 use bds_trace::{EventKind, Rec, TraceData, Tracer};
 use bds_workload::arrivals::PoissonArrivals;
 use bds_workload::gen::WorkloadGen;
@@ -44,7 +64,7 @@ use std::collections::VecDeque;
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Event {
+pub(crate) enum Event {
     /// The next transaction arrives.
     Arrival,
     /// The CN finished a processing phase for a transaction.
@@ -66,7 +86,7 @@ enum Event {
 
 /// CN processing phases.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Startup (`sot_time`) done; begin step 0.
     Started,
     /// Lock granted and send message processed; dispatch cohorts.
@@ -79,14 +99,14 @@ enum Phase {
 
 /// Why a pending request is waiting.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum WaitKind {
+pub(crate) enum WaitKind {
     Blocked,
     Delayed,
 }
 
 /// Why a transaction attempt was aborted.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum AbortCause {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
     /// OPT certification failed at commit.
     Validation,
     /// The scheduler ordered a restart (restart-oriented protocols).
@@ -95,33 +115,114 @@ enum AbortCause {
     Fault,
 }
 
-#[derive(Debug)]
-struct PendingReq {
+/// One externally visible consequence of processing an event, reported
+/// by [`Engine::step`] when effect collection is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// A transaction arrived (Poisson process or [`Engine::submit`]).
+    Arrived {
+        /// The arriving transaction.
+        txn: TxnId,
+    },
+    /// The scheduler admitted a queued transaction.
+    Admitted {
+        /// The admitted transaction.
+        txn: TxnId,
+    },
+    /// The scheduler refused admission (the transaction stays queued).
+    AdmitRefused {
+        /// The refused transaction.
+        txn: TxnId,
+    },
+    /// A lock request was granted.
+    Granted {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The step that requested the lock.
+        step: usize,
+        /// The file the lock covers.
+        file: FileId,
+    },
+    /// A lock request blocked on held locks.
+    Blocked {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The step that requested the lock.
+        step: usize,
+        /// The contended file.
+        file: FileId,
+    },
+    /// A lock request was delayed by scheduler policy.
+    Delayed {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The step that requested the lock.
+        step: usize,
+        /// The file in question.
+        file: FileId,
+    },
+    /// An aborted transaction re-entered the start queue.
+    RestartScheduled {
+        /// The restarting transaction.
+        txn: TxnId,
+    },
+    /// A transaction committed.
+    Committed {
+        /// The committed transaction.
+        txn: TxnId,
+    },
+    /// A transaction attempt was aborted.
+    Aborted {
+        /// The aborted transaction.
+        txn: TxnId,
+        /// Why the attempt died.
+        cause: AbortCause,
+    },
+    /// A transaction was dropped permanently (fault retry cap).
+    Killed {
+        /// The killed transaction.
+        txn: TxnId,
+    },
+    /// A fault-plan action fired.
+    Fault(FaultAction),
+}
+
+/// The result of one [`Engine::step`]: the event's timestamp plus the
+/// effects it produced (empty unless [`Engine::enable_effects`] ran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEffects {
+    /// Simulated time of the processed event.
+    pub at: SimTime,
+    /// Externally visible consequences, in occurrence order.
+    pub effects: Vec<Effect>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PendingReq {
     /// Submission sequence number; the `pending` vec is kept in
     /// ascending `seq` order, which is also retry order.
-    seq: u64,
-    id: TxnId,
-    step: usize,
-    file: FileId,
-    kind: WaitKind,
-    eligible: bool,
+    pub(crate) seq: u64,
+    pub(crate) id: TxnId,
+    pub(crate) step: usize,
+    pub(crate) file: FileId,
+    pub(crate) kind: WaitKind,
+    pub(crate) eligible: bool,
 }
 
-#[derive(Debug)]
-struct Txn {
-    spec: BatchSpec,
-    arrival: SimTime,
-    step: usize,
-    outstanding_cohorts: u32,
-    ever_started: bool,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Txn {
+    pub(crate) spec: BatchSpec,
+    pub(crate) arrival: SimTime,
+    pub(crate) step: usize,
+    pub(crate) outstanding_cohorts: u32,
+    pub(crate) ever_started: bool,
     /// How many times a fault has killed an attempt of this
     /// transaction; drives the retry backoff and the permanent-kill cap.
-    fault_kills: u32,
+    pub(crate) fault_kills: u32,
 }
 
-/// The simulator.
-pub struct Simulator {
-    cfg: SimConfig,
+/// The incremental step engine (see the module docs).
+pub struct Engine {
     placement: Placement,
     events: EventQueue<Event>,
     cn: FcfsServer,
@@ -130,14 +231,13 @@ pub struct Simulator {
     arrivals: PoissonArrivals,
     genr: Box<dyn WorkloadGen>,
     /// In-flight transactions in a slot arena (free-list reuse; see
-    /// [`crate::arena`]) — never iterated, so the unordered index is
-    /// determinism-safe.
+    /// [`crate::arena`]) — never iterated on the hot path, so the
+    /// unordered index is determinism-safe (the checkpoint layer sorts).
     txns: Arena<Txn>,
     start_queue: VecDeque<TxnId>,
     /// Blocked/delayed lock requests in ascending `seq` order (inserts
     /// always append — `next_seq` is monotone — and removals preserve
-    /// order), so retry sweeps visit requests in the same submission
-    /// order the original `BTreeMap<u64, _>` gave.
+    /// order), so retry sweeps visit requests in submission order.
     pending: Vec<PendingReq>,
     next_txn: u64,
     next_seq: u64,
@@ -148,8 +248,7 @@ pub struct Simulator {
     rt: Welford,
     /// Legacy 1-second-bin response-time histogram; allocated only under
     /// `cfg.legacy_second_bin_percentiles` (the log-bucketed `rt_log`
-    /// serves percentiles otherwise), keeping per-run memory off the
-    /// O(horizon) histogram in the default configuration.
+    /// serves percentiles otherwise).
     rt_hist: Option<Histogram>,
     arrived: u64,
     started: u64,
@@ -196,7 +295,7 @@ pub struct Simulator {
     released_buf: Vec<FileId>,
     /// Reused buffer for eligible pending-request sequence numbers.
     eligible_buf: Vec<u64>,
-    /// Lifecycle tracer. Lives on the simulator, **not** on `SimConfig`:
+    /// Lifecycle tracer. Lives on the engine, **not** on `SimConfig`:
     /// the report must stay a pure function of the configuration
     /// (`cache_key` hashes the config), and tracing must never perturb
     /// the simulation itself.
@@ -209,19 +308,33 @@ pub struct Simulator {
     /// Counter/busy-time snapshot at the previous metrics sample, for
     /// per-window rates and utilizations.
     metrics_prev: PrevSample,
+    /// Effect buffer for [`Engine::step`]; `None` (one branch per
+    /// emission site) unless [`Engine::enable_effects`] ran.
+    effects: Option<Vec<Effect>>,
+    /// Scheduler op-log for [`Engine::snapshot`]; `None` (one branch
+    /// per scheduler call) unless [`Engine::enable_checkpointing`] ran.
+    oplog: Option<Vec<SchedOp>>,
+    /// True while [`Engine::swap_scheduler`] drains in-flight work:
+    /// admissions pause so the live set runs dry.
+    admission_hold: bool,
+    /// Set by [`Engine::replace_scheduler`]: a custom scheduler cannot
+    /// be rebuilt from `SchedulerKind`, so checkpointing is refused.
+    custom_scheduler: bool,
+    cfg: SimConfig,
 }
 
-/// Snapshot of cumulative quantities at the last metrics grid point.
-#[derive(Debug, Clone, Default)]
-struct PrevSample {
-    at_ms: u64,
-    arrived: u64,
-    completed: u64,
-    restarts: u64,
-    denied: u64,
-    lock_requests: u64,
-    cn_busy_ms: f64,
-    dpn_busy_ms: Vec<f64>,
+/// Snapshot of cumulative quantities at the last metrics sample, for
+/// windowed rates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct PrevSample {
+    pub(crate) at_ms: u64,
+    pub(crate) arrived: u64,
+    pub(crate) completed: u64,
+    pub(crate) restarts: u64,
+    pub(crate) denied: u64,
+    pub(crate) lock_requests: u64,
+    pub(crate) cn_busy_ms: f64,
+    pub(crate) dpn_busy_ms: Vec<f64>,
 }
 
 /// Column names of the metrics time series, in row order.
@@ -251,8 +364,8 @@ fn metric_columns(num_nodes: u32) -> Vec<String> {
     names
 }
 
-impl Simulator {
-    /// Build a simulator from a configuration (workload taken from
+impl Engine {
+    /// Build an engine from a configuration (workload taken from
     /// `cfg.workload`).
     pub fn new(cfg: &SimConfig) -> Self {
         cfg.validate();
@@ -284,7 +397,7 @@ impl Simulator {
             }
         }
         let num_nodes = cfg.costs.num_nodes as usize;
-        Simulator {
+        Engine {
             placement,
             events,
             cn: FcfsServer::new(SimTime::ZERO),
@@ -301,8 +414,8 @@ impl Simulator {
             cohort_owner: IdMap::new(),
             live: TimeWeighted::new(SimTime::ZERO, 0.0),
             rt: Welford::new(),
-            // 1-second buckets over the whole horizon range; only the
-            // legacy percentile engine reads it, so only then allocate.
+            // 1-second buckets; only the legacy percentile engine reads
+            // it, so only then allocate.
             rt_hist: cfg
                 .legacy_second_bin_percentiles
                 .then(|| Histogram::new(1.0, 4000)),
@@ -333,52 +446,24 @@ impl Simulator {
             rt_log: LogHistogram::new(),
             metrics: Sampler::Off,
             metrics_prev: PrevSample::default(),
+            effects: None,
+            oplog: None,
+            admission_hold: false,
+            custom_scheduler: false,
             cfg: cfg.clone(),
         }
     }
 
-    /// Run to the horizon and report.
-    pub fn run(cfg: &SimConfig) -> SimReport {
-        let mut sim = Simulator::new(cfg);
-        sim.run_to_horizon();
-        sim.report()
-    }
+    // ----- observers ---------------------------------------------------
 
-    /// Run with a ring-buffer tracer of the given capacity and return
-    /// both the report and the captured trace. The report is
-    /// byte-identical to an untraced [`Simulator::run`] of the same
-    /// configuration — tracing only observes.
-    pub fn run_traced(cfg: &SimConfig, capacity: usize) -> (SimReport, TraceData) {
-        let mut sim = Simulator::new(cfg);
-        sim.set_tracer(Tracer::ring(capacity));
-        sim.run_to_horizon();
-        let report = sim.report();
-        let data = sim.take_trace().expect("ring tracer was installed");
-        (report, data)
-    }
-
-    /// Run with time-series sampling every `dt` of simulated time,
-    /// returning the report and the sampled series. The report is
-    /// byte-identical to an unsampled [`Simulator::run`] of the same
-    /// configuration — sampling only observes.
-    pub fn run_with_metrics(cfg: &SimConfig, dt: Duration) -> (SimReport, TimeSeries) {
-        let mut sim = Simulator::new(cfg);
-        sim.set_metrics_interval(dt);
-        sim.run_to_horizon();
-        let report = sim.report();
-        let series = sim.take_metrics().expect("sampler was installed");
-        (report, series)
-    }
-
-    /// Install a tracer (replace any previous one). Call before
-    /// [`Simulator::run_to_horizon`] to capture the whole run.
+    /// Install a tracer (replace any previous one). Call before driving
+    /// the engine to capture the whole run.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
 
     /// Enable metrics sampling at the given simulated-time interval
-    /// (replace any previous sampler). Call before
-    /// [`Simulator::run_to_horizon`].
+    /// (replace any previous sampler). Call before driving the engine.
     pub fn set_metrics_interval(&mut self, dt: Duration) {
         let names = metric_columns(self.cfg.costs.num_nodes);
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -407,22 +492,120 @@ impl Simulator {
         std::mem::take(&mut self.tracer).finish()
     }
 
+    /// Collect [`Effect`]s for [`Engine::step`] from now on. Off by
+    /// default: bulk drivers never pay for effect construction beyond
+    /// one branch per emission site.
+    pub fn enable_effects(&mut self) {
+        if self.effects.is_none() {
+            self.effects = Some(Vec::new());
+        }
+    }
+
+    /// Start recording the scheduler op-log that [`Engine::snapshot`]
+    /// embeds. Must run before the first event so the replayed
+    /// scheduler sees its complete call history.
+    ///
+    /// # Panics
+    /// Panics if events were already processed or a custom scheduler is
+    /// installed (it cannot be rebuilt from the config on restore).
+    pub fn enable_checkpointing(&mut self) {
+        assert_eq!(
+            self.events.events_processed(),
+            0,
+            "enable_checkpointing after events were processed"
+        );
+        assert!(
+            !self.custom_scheduler,
+            "checkpointing cannot rebuild a custom scheduler"
+        );
+        if self.oplog.is_none() {
+            self.oplog = Some(Vec::new());
+        }
+    }
+
+    /// Push an effect when collection is enabled (one predictable
+    /// branch when off, like `Tracer::emit`).
+    #[inline(always)]
+    fn fx(&mut self, make: impl FnOnce() -> Effect) {
+        if let Some(buf) = &mut self.effects {
+            buf.push(make());
+        }
+    }
+
+    /// Append a scheduler op when checkpointing is enabled (one
+    /// predictable branch when off).
+    #[inline(always)]
+    fn op(&mut self, make: impl FnOnce() -> SchedOp) {
+        if let Some(log) = &mut self.oplog {
+            log.push(make());
+        }
+    }
+
+    // ----- driving the loop -------------------------------------------
+
+    /// End of the simulated run.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.cfg.horizon
+    }
+
+    /// Pop and handle the next event if it lies at or before `limit`;
+    /// returns its timestamp. This is the single event loop every
+    /// driver shares.
+    #[inline]
+    fn pump(&mut self, limit: SimTime) -> Option<SimTime> {
+        let t = self.events.peek_time()?;
+        if t > limit {
+            return None;
+        }
+        // State is piecewise constant between events, so sampling the
+        // pre-event state covers every grid point up to `t` exactly.
+        // One predictable branch when sampling is off.
+        if self.metrics.due(t) {
+            self.sample_metrics(t);
+        }
+        let Scheduled { event, .. } = self.events.pop().expect("peeked event vanished");
+        self.handle(event);
+        Some(t)
+    }
+
+    /// Process exactly one event (the next one at or before the
+    /// horizon). Returns `None` when the run is over — queue drained or
+    /// next event past the horizon. Effects are reported only after
+    /// [`Engine::enable_effects`].
+    pub fn step(&mut self) -> Option<StepEffects> {
+        if let Some(buf) = &mut self.effects {
+            buf.clear();
+        }
+        let at = self.pump(self.horizon())?;
+        let effects = match &mut self.effects {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        };
+        Some(StepEffects { at, effects })
+    }
+
+    /// Process every event at or before `limit` (clamped to the
+    /// horizon); returns the number processed. Interleaving `run_until`
+    /// calls is byte-identical to one [`Engine::run_to_horizon`].
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        let limit = limit.min(self.horizon());
+        let mut n = 0;
+        while self.pump(limit).is_some() {
+            n += 1;
+        }
+        // Fill the metrics grid to `limit`: the state in force is the
+        // same one the next event would sample, so this is identical to
+        // an uninterrupted run.
+        if self.metrics.due(limit) {
+            self.sample_metrics(limit);
+        }
+        n
+    }
+
     /// Drive the event loop until the horizon.
     pub fn run_to_horizon(&mut self) {
-        let horizon = SimTime::ZERO + self.cfg.horizon;
-        while let Some(t) = self.events.peek_time() {
-            if t > horizon {
-                break;
-            }
-            // State is piecewise constant between events, so sampling
-            // the pre-event state covers every grid point up to `t`
-            // exactly. One predictable branch when sampling is off.
-            if self.metrics.due(t) {
-                self.sample_metrics(t);
-            }
-            let scheduled = self.events.pop().expect("peeked event vanished");
-            self.handle(scheduled.event);
-        }
+        let horizon = self.horizon();
+        while self.pump(horizon).is_some() {}
         // Fill the grid to the horizon so the series spans the whole
         // run even when the event queue drains early.
         if self.metrics.due(horizon) {
@@ -504,6 +687,8 @@ impl Simulator {
         }
     }
 
+    // ----- accessors ---------------------------------------------------
+
     /// Per-DPN downtime accumulated up to `at` (nodes still down are
     /// charged through `at`).
     pub fn node_downtime(&self, at: SimTime) -> Vec<Duration> {
@@ -522,14 +707,52 @@ impl Simulator {
         self.txns.len() as u64
     }
 
+    /// Transactions that have arrived so far.
+    pub fn arrived(&self) -> u64 {
+        self.arrived
+    }
+
+    /// Transactions that have committed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Transactions dropped permanently (fault retry cap).
+    pub fn killed(&self) -> u64 {
+        self.killed
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events.events_processed()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// The active scheduler's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The configuration this engine runs (the scheduler field tracks
+    /// [`Engine::swap_scheduler`]).
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// Histogram of fault-kill attempt counts at permanent kill time.
     pub fn retry_histogram(&self) -> &LogHistogram {
         &self.retry_hist
     }
 
-    /// Produce the report (callable after `run_to_horizon`).
+    /// Produce the report (callable at any point of the run; the
+    /// utilization/availability denominators always use the full
+    /// horizon).
     pub fn report(&self) -> SimReport {
-        let horizon = SimTime::ZERO + self.cfg.horizon;
+        let horizon = self.horizon();
         let dpn_util = self
             .dpns
             .iter()
@@ -573,16 +796,23 @@ impl Simulator {
 
     /// Replace the scheduler with a custom implementation (extension
     /// point beyond the paper's six). Must be called before the first
-    /// event is processed.
+    /// event is processed. Incompatible with checkpointing: a custom
+    /// scheduler cannot be rebuilt from the config on restore.
     ///
     /// # Panics
-    /// Panics if the simulation has already started.
+    /// Panics if the simulation has already started or checkpointing is
+    /// enabled.
     pub fn replace_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
         assert_eq!(
             self.events.events_processed(),
             0,
             "replace_scheduler after events were processed"
         );
+        assert!(
+            self.oplog.is_none(),
+            "replace_scheduler is incompatible with checkpointing"
+        );
+        self.custom_scheduler = true;
         self.label = scheduler.name().to_string();
         self.scheduler = scheduler;
     }
@@ -590,6 +820,7 @@ impl Simulator {
     /// Drain the precedence constraints the scheduler observed — used by
     /// the serializability audit in the integration tests.
     pub fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        self.op(|| SchedOp::Drain);
         self.scheduler.drain_constraints()
     }
 
@@ -597,10 +828,6 @@ impl Simulator {
     /// tests).
     pub fn scheduler(&self) -> &dyn Scheduler {
         self.scheduler.as_ref()
-    }
-
-    fn now(&self) -> SimTime {
-        self.events.now()
     }
 
     /// The lifecycle record of a live transaction.
@@ -654,6 +881,7 @@ impl Simulator {
         if !self.tracer.enabled() {
             return;
         }
+        self.op(|| SchedOp::Drain);
         let now = self.now();
         for (from, to) in self.scheduler.drain_constraints() {
             self.tracer.emit(|| Rec {
@@ -675,6 +903,7 @@ impl Simulator {
                     at: now,
                     kind: EventKind::Restart { txn: id },
                 });
+                self.fx(|| Effect::RestartScheduled { txn: id });
                 self.start_queue.push_back(id);
                 self.try_admissions();
             }
@@ -688,17 +917,23 @@ impl Simulator {
 
     // ----- arrivals & admission ---------------------------------------
 
-    fn on_arrival(&mut self) {
+    /// Register a fresh transaction at the current time and queue it
+    /// for admission (shared by Poisson arrivals and external
+    /// [`Engine::submit`]).
+    fn enroll(&mut self, mut spec: BatchSpec) -> TxnId {
         let now = self.now();
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let mut spec = self.genr.next_batch();
         // Declared demands scale with parallelism: a step of cost C
         // declares C/k when DD = k (§4.2).
         let dd = self.cfg.dd as f64;
         for s in &mut spec.steps {
             s.declared /= dd;
         }
+        self.op(|| SchedOp::Register {
+            id,
+            spec: spec.clone(),
+        });
         self.scheduler.register(id, spec.clone());
         self.txns.insert(
             id.0,
@@ -716,13 +951,31 @@ impl Simulator {
             at: now,
             kind: EventKind::Arrival { txn: id },
         });
+        self.fx(|| Effect::Arrived { txn: id });
         self.start_queue.push_back(id);
+        id
+    }
+
+    fn on_arrival(&mut self) {
+        let now = self.now();
+        let spec = self.genr.next_batch();
+        self.enroll(spec);
         // Next arrival.
         let t = self.arrivals.pop();
         debug_assert_eq!(t, now);
         self.events
             .schedule_at(self.arrivals.peek(), Event::Arrival);
         self.try_admissions();
+    }
+
+    /// Submit an external transaction at the current simulated time,
+    /// outside the Poisson arrival process (the `bds-serve` front uses
+    /// this). The spec's declared demands are DD-scaled exactly like
+    /// generated arrivals. Returns the assigned id.
+    pub fn submit(&mut self, spec: BatchSpec) -> TxnId {
+        let id = self.enroll(spec);
+        self.try_admissions();
+        id
     }
 
     fn mpl_room(&self) -> bool {
@@ -733,6 +986,9 @@ impl Simulator {
     }
 
     fn try_admissions(&mut self) {
+        if self.admission_hold {
+            return;
+        }
         let now = self.now();
         let mut costed_tests = 0usize;
         let mut i = 0usize;
@@ -741,6 +997,7 @@ impl Simulator {
                 break;
             }
             let id = self.start_queue[i];
+            self.op(|| SchedOp::TryStart { id });
             let outcome = self.scheduler.try_start(id);
             if !outcome.cpu.is_zero() {
                 self.cn_work(now, outcome.cpu, Some(id), "sched");
@@ -753,6 +1010,7 @@ impl Simulator {
                         at: now,
                         kind: EventKind::Admit { txn: id },
                     });
+                    self.fx(|| Effect::Admitted { txn: id });
                     self.trace_edges();
                     let txn = self.txns.get_mut(id.0).expect("admitted unknown txn");
                     if !txn.ever_started {
@@ -776,6 +1034,7 @@ impl Simulator {
                         at: now,
                         kind: EventKind::AdmitRefuse { txn: id, reason },
                     });
+                    self.fx(|| Effect::AdmitRefused { txn: id });
                     i += 1;
                     if costed_tests >= self.cfg.admission_scan_limit {
                         break;
@@ -828,6 +1087,7 @@ impl Simulator {
                 file,
             },
         });
+        self.op(|| SchedOp::Request { id, step });
         let outcome = self.scheduler.request(id, step);
         match outcome.decision {
             ReqDecision::Granted => {
@@ -838,6 +1098,11 @@ impl Simulator {
                         step: step as u32,
                         file,
                     },
+                });
+                self.fx(|| Effect::Granted {
+                    txn: id,
+                    step,
+                    file,
                 });
                 self.trace_edges();
                 if let Some(seq) = pending_seq {
@@ -907,6 +1172,18 @@ impl Simulator {
                             file,
                             reason,
                         },
+                    },
+                });
+                self.fx(|| match kind {
+                    WaitKind::Blocked => Effect::Blocked {
+                        txn: id,
+                        step,
+                        file,
+                    },
+                    WaitKind::Delayed => Effect::Delayed {
+                        txn: id,
+                        step,
+                        file,
                     },
                 });
                 match pending_seq {
@@ -1153,6 +1430,7 @@ impl Simulator {
                 step: step as u32,
             },
         });
+        self.op(|| SchedOp::StepComplete { id, step });
         self.scheduler.step_complete(id, step);
         let total_steps = self.txn(id).spec.len();
         let next = step + 1;
@@ -1173,6 +1451,7 @@ impl Simulator {
 
     fn finish_txn(&mut self, id: TxnId) {
         let now = self.now();
+        self.op(|| SchedOp::Validate { id });
         let valid = self.scheduler.validate(id).decision;
         self.tracer.emit(|| Rec {
             at: now,
@@ -1181,6 +1460,7 @@ impl Simulator {
         if valid {
             let mut touched = std::mem::take(&mut self.released_buf);
             touched.clear();
+            self.op(|| SchedOp::Commit { id });
             self.scheduler.commit_into(id, &mut touched);
             let txn = self.txns.remove(id.0).expect("commit of unknown txn");
             self.live.add(now, -1.0);
@@ -1189,6 +1469,7 @@ impl Simulator {
                 at: now,
                 kind: EventKind::Commit { txn: id },
             });
+            self.fx(|| Effect::Committed { txn: id });
             let rt_secs = now.since(txn.arrival).as_secs_f64();
             self.rt.push(rt_secs);
             if let Some(h) = &mut self.rt_hist {
@@ -1217,7 +1498,7 @@ impl Simulator {
     /// Scheduler and validation aborts retry after `restart_delay`
     /// (unchanged legacy behaviour). Fault aborts retry under the
     /// plan's exponential-backoff policy and are killed permanently —
-    /// scheduler state dropped via [`Scheduler::forget`], no restart —
+    /// scheduler state dropped via `Scheduler::forget`, no restart —
     /// once the kill count reaches the retry cap.
     fn abort_txn(&mut self, id: TxnId, cause: AbortCause) {
         let now = self.now();
@@ -1231,6 +1512,7 @@ impl Simulator {
             at: now,
             kind: EventKind::Abort { txn: id },
         });
+        self.fx(|| Effect::Aborted { txn: id, cause });
         let kills = if cause == AbortCause::Fault {
             let txn = self.txns.get_mut(id.0).expect("fault abort of unknown txn");
             txn.fault_kills += 1;
@@ -1243,8 +1525,10 @@ impl Simulator {
         let mut released = std::mem::take(&mut self.released_buf);
         released.clear();
         if kill_for_good {
+            self.op(|| SchedOp::Forget { id });
             self.scheduler.forget(id, &mut released);
         } else {
+            self.op(|| SchedOp::Abort { id });
             self.scheduler.abort_into(id, &mut released);
         }
         self.live.add(now, -1.0);
@@ -1273,6 +1557,7 @@ impl Simulator {
                     attempts: kills,
                 },
             });
+            self.fx(|| Effect::Killed { txn: id });
             // Defensive: a killed transaction must not linger anywhere.
             self.pending.retain(|p| p.id != id);
         } else {
@@ -1296,6 +1581,7 @@ impl Simulator {
 
     fn on_fault(&mut self, action: FaultAction) {
         let now = self.now();
+        self.fx(|| Effect::Fault(action));
         match action {
             FaultAction::CrashNode { node } => {
                 self.tracer.emit(|| Rec {
@@ -1415,105 +1701,350 @@ impl Simulator {
         self.try_admissions();
         self.arm_retry_tick();
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::WorkloadKind;
-    use bds_des::time::Duration;
-    use bds_sched::SchedulerKind;
+    // ----- scheduler hot-swap -----------------------------------------
 
-    fn cfg(kind: SchedulerKind) -> SimConfig {
-        let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
-        c.horizon = Duration::from_secs(200_000 / 1000); // 200 s
-        c.lambda_tps = 0.5;
-        c
-    }
-
-    #[test]
-    fn nodc_light_load_rt_matches_service_time() {
-        // At a very light load with DD = 1 the response time is just the
-        // sum of per-step scans (7.2 s) plus small CN costs.
-        let mut c = cfg(SchedulerKind::Nodc);
-        c.lambda_tps = 0.02;
-        c.horizon = Duration::from_secs(2000);
-        let r = Simulator::run(&c);
-        assert!(r.completed >= 20, "completed {}", r.completed);
-        let rt = r.mean_rt_secs();
+    /// Swap the concurrency-control protocol at an epoch boundary:
+    /// pause admissions, drain every live (admitted) transaction to
+    /// commit or abort, build the new scheduler, re-register every
+    /// still-in-flight (queued or restarting) declaration, and resume
+    /// admissions. Returns the number of events processed while
+    /// draining.
+    ///
+    /// Arrivals keep flowing during the drain — they queue up behind
+    /// the held admission gate. If the horizon is reached before the
+    /// live set runs dry (a pathological plan), the swap proceeds
+    /// anyway; the remaining live transactions are re-registered as
+    /// not-yet-started, which only matters if the engine is driven
+    /// past the horizon.
+    ///
+    /// # Panics
+    /// Panics after [`Engine::replace_scheduler`]: a custom scheduler
+    /// has no `SchedulerKind` to swap back to.
+    pub fn swap_scheduler(&mut self, kind: SchedulerKind) -> u64 {
         assert!(
-            (rt - 7.2).abs() < 0.3,
-            "light-load RT should be ≈ 7.2 s, got {rt}"
+            !self.custom_scheduler,
+            "swap_scheduler after replace_scheduler"
         );
+        self.admission_hold = true;
+        let horizon = self.horizon();
+        let mut drained = 0u64;
+        while self.scheduler.live_count() > 0 && self.pump(horizon).is_some() {
+            drained += 1;
+        }
+        // Re-seed: every in-flight transaction (start queue, restart
+        // delay, or — past the horizon — still live) re-registers its
+        // declaration, already DD-scaled, with the fresh scheduler.
+        let mut sched = kind.build(&self.cfg.costs);
+        let mut ids = self.txns.ids();
+        ids.sort_unstable();
+        if let Some(log) = &mut self.oplog {
+            log.clear();
+        }
+        for raw in ids {
+            let spec = self
+                .txns
+                .get(raw)
+                .expect("listed txn vanished")
+                .spec
+                .clone();
+            let id = TxnId(raw);
+            self.op(|| SchedOp::Register {
+                id,
+                spec: spec.clone(),
+            });
+            sched.register(id, spec);
+        }
+        self.scheduler = sched;
+        self.label = kind.label();
+        // Keep cfg.scheduler in sync so `cache_key` (and snapshots
+        // taken after the swap) describe the engine actually running.
+        self.cfg.scheduler = kind;
+        self.admission_hold = false;
+        self.try_admissions();
+        drained
     }
 
-    #[test]
-    fn nodc_dd8_light_load_speedup() {
-        // With DD = 8 every scan runs 8-way parallel: RT ≈ 7.2/8 ≈ 0.9 s.
-        let mut c = cfg(SchedulerKind::Nodc);
-        c.lambda_tps = 0.02;
-        c.dd = 8;
-        c.horizon = Duration::from_secs(2000);
-        let r = Simulator::run(&c);
-        let rt = r.mean_rt_secs();
-        assert!(rt < 1.2, "DD=8 light-load RT should be ≈ 0.9 s, got {rt}");
-    }
+    // ----- checkpoint / restore ---------------------------------------
 
-    #[test]
-    fn determinism_same_seed_same_report() {
-        let c = cfg(SchedulerKind::Low(2)).with_lambda(0.6);
-        let a = Simulator::run(&c);
-        let b = Simulator::run(&c);
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let c = cfg(SchedulerKind::C2pl).with_lambda(0.6);
-        let a = Simulator::run(&c);
-        let b = Simulator::run(&c.clone().with_seed(123));
-        assert_ne!(a.completed, b.completed);
-    }
-
-    #[test]
-    fn all_schedulers_complete_work() {
-        for kind in SchedulerKind::PAPER_SET {
-            let c = cfg(kind).with_lambda(0.4);
-            let r = Simulator::run(&c);
-            // OPT genuinely thrashes under this contention level (the
-            // paper's Fig. 8 shows it saturating first), so only demand
-            // meaningful forward progress.
-            assert!(
-                r.completed > r.arrived / 4,
-                "{kind}: completed only {} of {}",
-                r.completed,
-                r.arrived
-            );
-            assert!(r.mean_rt_secs() > 0.0);
+    /// Capture the complete simulation state. Requires
+    /// [`Engine::enable_checkpointing`] to have run before the first
+    /// event (the scheduler is captured as its op-log). The tracer and
+    /// effect buffer are *not* captured: both are observers, and a
+    /// restored engine starts with them off.
+    ///
+    /// # Panics
+    /// Panics if checkpointing is not enabled.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let oplog = self
+            .oplog
+            .as_ref()
+            .expect("snapshot requires enable_checkpointing before the first event")
+            .clone();
+        let gen_cursor = self
+            .genr
+            .save_cursor()
+            .expect("workload generator does not support checkpointing");
+        let (cn_free_at, cn_busy, cn_total_demand, cn_jobs) = self.cn.state();
+        let dpns = self
+            .dpns
+            .iter()
+            .map(|d| {
+                let (ready, running, busy, busy_time, completed) = d.state();
+                DpnState {
+                    ready,
+                    running,
+                    busy,
+                    busy_time,
+                    completed,
+                }
+            })
+            .collect();
+        let (arrivals_rng, arrivals_next) = self.arrivals.state();
+        let mut txns: Vec<(u64, Txn)> = self
+            .txns
+            .ids()
+            .into_iter()
+            .map(|id| (id, self.txns.get(id).expect("listed txn vanished").clone()))
+            .collect();
+        txns.sort_by_key(|&(id, _)| id);
+        let mut cohort_owner = self.cohort_owner.pairs();
+        cohort_owner.sort_unstable();
+        let rt_hist = self
+            .rt_hist
+            .as_ref()
+            .map(|h| (h.width(), h.counts().to_vec(), h.overflow(), h.total()));
+        let hist_state = |h: &LogHistogram| {
+            let (counts, total, sum_ticks, min_ticks, max_ticks) = h.state();
+            HistState {
+                counts: counts.to_vec(),
+                total,
+                sum_ticks,
+                min_ticks,
+                max_ticks,
+            }
+        };
+        let retry_hist = hist_state(&self.retry_hist);
+        let rt_log = hist_state(&self.rt_log);
+        let metrics_prev = self.metrics_prev.clone();
+        let metrics = self.metrics.active().map(|s| MetricsState {
+            next_ms: s.next_ms(),
+            dt_ms: s.series.dt_ms(),
+            names: s.series.names().to_vec(),
+            times_ms: s.series.times_ms().to_vec(),
+            values: s.series.values().to_vec(),
+            prev: metrics_prev,
+        });
+        Snapshot {
+            cache_key: self.cfg.cache_key(),
+            scheduler: self.cfg.scheduler,
+            label: self.label.clone(),
+            now: self.events.now(),
+            events_popped: self.events.events_processed(),
+            events: self
+                .events
+                .snapshot_entries()
+                .into_iter()
+                .map(|s| (s.at, s.event))
+                .collect(),
+            cn_free_at,
+            cn_busy,
+            cn_total_demand,
+            cn_jobs,
+            dpns,
+            oplog,
+            arrivals_rng,
+            arrivals_next,
+            gen_cursor,
+            txns,
+            start_queue: self.start_queue.iter().map(|id| id.0).collect(),
+            pending: self.pending.clone(),
+            next_txn: self.next_txn,
+            next_seq: self.next_seq,
+            next_cohort: self.next_cohort,
+            cohort_owner,
+            live: self.live,
+            rt: self.rt,
+            rt_hist,
+            arrived: self.arrived,
+            started: self.started,
+            completed: self.completed,
+            restarts: self.restarts,
+            lock_requests: self.lock_requests,
+            requests_denied: self.requests_denied,
+            retry_tick_armed: self.retry_tick_armed,
+            fault_rng: self.fault_rng.state(),
+            node_up: self.node_up.clone(),
+            dpn_epoch: self.dpn_epoch.clone(),
+            down_since: self.down_since.clone(),
+            downtime: self.downtime.clone(),
+            held_cohorts: self.held_cohorts.clone(),
+            aborts_validation: self.aborts_validation,
+            aborts_scheduler: self.aborts_scheduler,
+            aborts_fault: self.aborts_fault,
+            killed: self.killed,
+            retry_hist,
+            rt_log,
+            metrics,
         }
     }
 
-    #[test]
-    fn mpl_caps_live_transactions() {
-        let c = cfg(SchedulerKind::C2pl).with_lambda(1.2).with_mpl(4);
-        let r = Simulator::run(&c);
-        assert!(r.mean_live <= 4.01, "mean live {} exceeds mpl", r.mean_live);
-    }
-
-    #[test]
-    fn overload_grows_queue() {
-        // λ beyond capacity (≈ 1.11 TPS for Pattern 1 on 8 nodes): the
-        // backlog at the horizon must be substantial under NODC.
-        let mut c = cfg(SchedulerKind::Nodc);
-        c.lambda_tps = 1.4;
-        c.horizon = Duration::from_secs(2000);
-        let r = Simulator::run(&c);
-        assert!(
-            r.arrived > r.completed + 100,
-            "arrived {} completed {}",
-            r.arrived,
-            r.completed
+    /// Rebuild an engine from a snapshot. `base` must be the
+    /// configuration of the run that produced the snapshot (its
+    /// `scheduler` field is overridden by the snapshot's, so a snapshot
+    /// taken after [`Engine::swap_scheduler`] restores correctly).
+    ///
+    /// The restored engine continues byte-identically to the
+    /// uninterrupted run. Checkpointing stays enabled (the op-log is
+    /// carried over), so a snapshot of a restored run works too. The
+    /// tracer and effect buffer start off.
+    ///
+    /// # Panics
+    /// Panics if `base` (with the snapshot's scheduler) does not match
+    /// the snapshot's configuration cache key, or if the snapshot's
+    /// generator cursor does not fit the configured workload.
+    pub fn restore(base: &SimConfig, snap: &Snapshot) -> Engine {
+        let mut cfg = base.clone();
+        cfg.scheduler = snap.scheduler;
+        assert_eq!(
+            cfg.cache_key(),
+            snap.cache_key,
+            "snapshot was taken under a different configuration"
         );
-        assert!(r.dpn_utilization > 0.9, "dpn {}", r.dpn_utilization);
+        let mut e = Engine::new(&cfg);
+        e.events = EventQueue::from_snapshot(
+            snap.now,
+            snap.events_popped,
+            snap.events
+                .iter()
+                .map(|&(at, event)| Scheduled { at, event })
+                .collect(),
+        );
+        e.cn = FcfsServer::from_state(
+            snap.cn_free_at,
+            snap.cn_busy,
+            snap.cn_total_demand,
+            snap.cn_jobs,
+        );
+        e.dpns = snap
+            .dpns
+            .iter()
+            .map(|d| Dpn::from_state(d.ready.clone(), d.running, d.busy, d.busy_time, d.completed))
+            .collect();
+        // The scheduler is a deterministic, RNG-free state machine:
+        // replaying its recorded call history against a fresh instance
+        // reproduces its exact state. Outputs are discarded.
+        let mut sched = cfg.scheduler.build(&cfg.costs);
+        let mut scratch: Vec<FileId> = Vec::new();
+        for op in &snap.oplog {
+            match op {
+                SchedOp::Register { id, spec } => sched.register(*id, spec.clone()),
+                SchedOp::TryStart { id } => {
+                    let _ = sched.try_start(*id);
+                }
+                SchedOp::Request { id, step } => {
+                    let _ = sched.request(*id, *step);
+                }
+                SchedOp::StepComplete { id, step } => sched.step_complete(*id, *step),
+                SchedOp::Validate { id } => {
+                    let _ = sched.validate(*id);
+                }
+                SchedOp::Commit { id } => {
+                    scratch.clear();
+                    sched.commit_into(*id, &mut scratch);
+                }
+                SchedOp::Abort { id } => {
+                    scratch.clear();
+                    sched.abort_into(*id, &mut scratch);
+                }
+                SchedOp::Forget { id } => {
+                    scratch.clear();
+                    sched.forget(*id, &mut scratch);
+                }
+                SchedOp::Drain => {
+                    let _ = sched.drain_constraints();
+                }
+            }
+        }
+        e.scheduler = sched;
+        e.arrivals =
+            PoissonArrivals::from_state(cfg.lambda_tps, snap.arrivals_rng, snap.arrivals_next);
+        assert!(
+            e.genr.load_cursor(&snap.gen_cursor),
+            "workload-generator cursor does not match the configured workload"
+        );
+        e.txns = Arena::new();
+        // Insertion order differs from the original run's, which is
+        // safe: the arena is never iterated order-sensitively (only the
+        // checkpoint layer enumerates it, and it sorts).
+        for (id, txn) in &snap.txns {
+            e.txns.insert(*id, txn.clone());
+        }
+        e.start_queue = snap.start_queue.iter().map(|&id| TxnId(id)).collect();
+        e.pending = snap.pending.clone();
+        e.next_txn = snap.next_txn;
+        e.next_seq = snap.next_seq;
+        e.next_cohort = snap.next_cohort;
+        e.cohort_owner = IdMap::new();
+        for &(k, v) in &snap.cohort_owner {
+            e.cohort_owner.insert(k, v);
+        }
+        e.live = snap.live;
+        e.rt = snap.rt;
+        e.rt_hist = snap
+            .rt_hist
+            .as_ref()
+            .map(|(width, counts, overflow, total)| {
+                Histogram::from_state(*width, counts.clone(), *overflow, *total)
+            });
+        e.arrived = snap.arrived;
+        e.started = snap.started;
+        e.completed = snap.completed;
+        e.restarts = snap.restarts;
+        e.lock_requests = snap.lock_requests;
+        e.requests_denied = snap.requests_denied;
+        e.retry_tick_armed = snap.retry_tick_armed;
+        e.label = snap.label.clone();
+        e.fault_rng = bds_des::rng::Xoshiro256::from_state(snap.fault_rng);
+        e.node_up = snap.node_up.clone();
+        e.dpn_epoch = snap.dpn_epoch.clone();
+        e.down_since = snap.down_since.clone();
+        e.downtime = snap.downtime.clone();
+        e.held_cohorts = snap.held_cohorts.clone();
+        e.aborts_validation = snap.aborts_validation;
+        e.aborts_scheduler = snap.aborts_scheduler;
+        e.aborts_fault = snap.aborts_fault;
+        e.killed = snap.killed;
+        let hist = |s: &HistState| {
+            LogHistogram::from_state(
+                s.counts.clone(),
+                s.total,
+                s.sum_ticks,
+                s.min_ticks,
+                s.max_ticks,
+            )
+        };
+        e.retry_hist = hist(&snap.retry_hist);
+        e.rt_log = hist(&snap.rt_log);
+        match &snap.metrics {
+            Some(m) => {
+                e.metrics = Sampler::resume(
+                    m.next_ms,
+                    TimeSeries::from_parts(
+                        m.dt_ms,
+                        m.names.clone(),
+                        m.times_ms.clone(),
+                        m.values.clone(),
+                    ),
+                );
+                e.metrics_prev = m.prev.clone();
+            }
+            None => {
+                e.metrics = Sampler::Off;
+                e.metrics_prev = PrevSample::default();
+            }
+        }
+        e.oplog = Some(snap.oplog.clone());
+        e
     }
 }

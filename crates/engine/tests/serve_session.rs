@@ -1,0 +1,281 @@
+//! End-to-end smoke of the `bds-serve` NDJSON protocol: spawn the real
+//! binary, drive a session through submit → run → snapshot →
+//! hot-swap → restore → metrics, and check the conservation invariant
+//! (arrivals = commits + kills + in-flight) at every probe point.
+
+use bds_metrics::{parse, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+struct Serve {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Serve {
+    fn spawn() -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bds-serve"))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn bds-serve");
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        Serve {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Send one request line, read one reply line, require `"ok":true`.
+    fn send(&mut self, req: &str) -> JsonValue {
+        writeln!(self.stdin, "{req}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut line = String::new();
+        self.stdout.read_line(&mut line).expect("read reply");
+        let reply = parse(&line).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"));
+        assert_eq!(
+            reply.get("ok"),
+            Some(&JsonValue::Bool(true)),
+            "request {req} failed: {line}"
+        );
+        reply
+    }
+
+    /// Send a request that must be refused.
+    fn send_err(&mut self, req: &str) -> String {
+        writeln!(self.stdin, "{req}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut line = String::new();
+        self.stdout.read_line(&mut line).expect("read reply");
+        let reply = parse(&line).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"));
+        assert_eq!(
+            reply.get("ok"),
+            Some(&JsonValue::Bool(false)),
+            "request {req} unexpectedly succeeded: {line}"
+        );
+        reply
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .expect("error message")
+            .to_string()
+    }
+
+    fn quit(mut self) {
+        self.send(r#"{"cmd":"quit"}"#);
+        let status = self.child.wait().expect("wait for bds-serve");
+        assert!(status.success(), "bds-serve exited with {status}");
+    }
+}
+
+fn num(v: &JsonValue, key: &str) -> u64 {
+    v.get(key)
+        .and_then(JsonValue::as_num)
+        .unwrap_or_else(|| panic!("missing {key} in {v:?}")) as u64
+}
+
+/// The invariant every status reply must satisfy.
+fn check_conserved(status: &JsonValue) {
+    assert_eq!(status.get("conserved"), Some(&JsonValue::Bool(true)));
+    assert_eq!(
+        num(status, "arrived"),
+        num(status, "completed") + num(status, "killed") + num(status, "in_flight"),
+    );
+}
+
+#[test]
+fn session_with_snapshot_swap_and_restore() {
+    let dir = std::env::temp_dir();
+    let ckpt = dir.join(format!("bds-serve-ckpt-{}.json", std::process::id()));
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+    let mut s = Serve::spawn();
+
+    // Commands before configure are refused, not fatal.
+    let msg = s.send_err(r#"{"cmd":"run"}"#);
+    assert!(msg.contains("configure"), "unhelpful error: {msg}");
+
+    let r = s.send(
+        r#"{"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":300,"seed":7,"faults":"crash=2@80x15,retry=1000:8000:4"}"#,
+    );
+    assert_eq!(r.get("scheduler").and_then(JsonValue::as_str), Some("GOW"));
+
+    // An out-of-band submission rides along with the Poisson stream.
+    let r = s.send(r#"{"cmd":"submit","steps":[["r",3,1200.0],["w",7,600.0]]}"#);
+    let submitted = num(&r, "txn");
+    let r = s.send(r#"{"cmd":"submit","steps":[["rs",5,800.0]]}"#);
+    assert_ne!(num(&r, "txn"), submitted, "submissions get distinct ids");
+
+    let r = s.send(r#"{"cmd":"run-until","t_ms":60000}"#);
+    assert!(num(&r, "events") > 0);
+    assert!(num(&r, "now_ms") <= 60_000);
+
+    // Single-stepping reports effects.
+    let r = s.send(r#"{"cmd":"step","n":25}"#);
+    assert_eq!(num(&r, "events"), 25);
+    let effects = r
+        .get("effects")
+        .and_then(JsonValue::as_arr)
+        .expect("effects");
+    assert!(
+        !effects.is_empty(),
+        "25 mid-run events must produce effects"
+    );
+
+    let snap = s.send(&format!(r#"{{"cmd":"snapshot","path":"{ckpt_str}"}}"#));
+    let snap_now = num(&snap, "now_ms");
+    let snap_events = num(&snap, "events");
+    assert!(num(&snap, "bytes") > 0);
+
+    // Hot-swap at an epoch boundary: the engine drains in-flight work,
+    // re-registers survivors, and keeps every transaction accounted for.
+    let r = s.send(r#"{"cmd":"swap-scheduler","scheduler":"asl"}"#);
+    assert_eq!(r.get("scheduler").and_then(JsonValue::as_str), Some("ASL"));
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+
+    s.send(r#"{"cmd":"run-until","t_ms":150000}"#);
+    let status = s.send(r#"{"cmd":"status"}"#);
+    assert_eq!(
+        status.get("scheduler").and_then(JsonValue::as_str),
+        Some("ASL")
+    );
+    check_conserved(&status);
+
+    // Restore rewinds to the checkpoint: same clock, same event count,
+    // original scheduler.
+    let r = s.send(&format!(r#"{{"cmd":"restore","path":"{ckpt_str}"}}"#));
+    assert_eq!(r.get("scheduler").and_then(JsonValue::as_str), Some("GOW"));
+    assert_eq!(num(&r, "now_ms"), snap_now);
+    assert_eq!(num(&r, "events"), snap_events);
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+
+    // Prometheus exposition parses: TYPE lines and the core series.
+    let m = s.send(r#"{"cmd":"metrics"}"#);
+    let body = m
+        .get("body")
+        .and_then(JsonValue::as_str)
+        .expect("prom body");
+    for needle in [
+        "# TYPE bds_txns_arrived counter",
+        "# TYPE bds_txns_in_flight gauge",
+        "# TYPE bds_response_time_seconds histogram",
+        "bds_response_time_seconds_bucket",
+        "scheduler=\"GOW\"",
+    ] {
+        assert!(
+            body.contains(needle),
+            "prom text missing {needle:?}:\n{body}"
+        );
+    }
+    for line in body.lines() {
+        assert!(
+            line.starts_with('#') || line.contains(' '),
+            "unparseable prom line {line:?}"
+        );
+    }
+
+    let m = s.send(r#"{"cmd":"metrics","format":"csv"}"#);
+    let body = m.get("body").and_then(JsonValue::as_str).expect("csv body");
+    assert!(body.starts_with("metric,value\n"));
+    assert!(body.lines().count() > 5);
+
+    // Run out the horizon and read the final report.
+    s.send(r#"{"cmd":"run"}"#);
+    let r = s.send(r#"{"cmd":"report"}"#);
+    let report = r.get("report").expect("report object");
+    assert_eq!(
+        report.get("scheduler").and_then(JsonValue::as_str),
+        Some("GOW")
+    );
+    assert!(num(report, "completed") > 0);
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+
+    s.quit();
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn restored_session_finishes_identically() {
+    // Drive two sessions: one straight through, one snapshotted midway,
+    // swapped to a different scheduler, then restored. Their final
+    // reports must be identical text.
+    let dir = std::env::temp_dir();
+    let ckpt = dir.join(format!("bds-serve-ident-{}.json", std::process::id()));
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+    let cfg = r#"{"cmd":"configure","scheduler":"c2pl","lambda":0.6,"horizon_s":300,"seed":11}"#;
+
+    let mut a = Serve::spawn();
+    a.send(cfg);
+    a.send(r#"{"cmd":"run"}"#);
+    let straight = a.send(r#"{"cmd":"report"}"#);
+    a.quit();
+
+    let mut b = Serve::spawn();
+    b.send(cfg);
+    b.send(r#"{"cmd":"run-until","t_ms":90000}"#);
+    b.send(&format!(r#"{{"cmd":"snapshot","path":"{ckpt_str}"}}"#));
+    b.send(r#"{"cmd":"swap-scheduler","scheduler":"wdl"}"#);
+    b.send(r#"{"cmd":"run-until","t_ms":200000}"#);
+    b.send(&format!(r#"{{"cmd":"restore","path":"{ckpt_str}"}}"#));
+    b.send(r#"{"cmd":"run"}"#);
+    let restored = b.send(r#"{"cmd":"report"}"#);
+    b.quit();
+
+    assert_eq!(
+        straight.get("report"),
+        restored.get("report"),
+        "detour through swap + restore changed the outcome"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn tcp_listener_serves_the_same_protocol() {
+    use std::net::TcpStream;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bds-serve"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn bds-serve --listen");
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut ask = |req: &str| -> JsonValue {
+        writeln!(writer, "{req}").expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        let v = parse(&line).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)), "{req} -> {line}");
+        v
+    };
+
+    ask(r#"{"cmd":"configure","scheduler":"low","lambda":0.5,"horizon_s":120,"seed":3}"#);
+    let r = ask(r#"{"cmd":"run-until","t_ms":60000}"#);
+    assert!(num(&r, "events") > 0);
+    let status = ask(r#"{"cmd":"status"}"#);
+    assert_eq!(
+        status.get("scheduler").and_then(JsonValue::as_str),
+        Some("LOW")
+    );
+    check_conserved(&status);
+    ask(r#"{"cmd":"quit"}"#);
+
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "bds-serve exited with {status}");
+}

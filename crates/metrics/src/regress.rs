@@ -33,6 +33,13 @@ pub enum MetricClass {
         /// Absolute slack in the metric's unit.
         abs_floor: f64,
     },
+    /// Higher-is-better measurement with noise (throughput rates);
+    /// regresses when the current value drops below baseline by more
+    /// than the relative tolerance and `abs_floor`.
+    Rate {
+        /// Absolute slack in the metric's unit.
+        abs_floor: f64,
+    },
     /// Deterministic integer; must match exactly.
     Count,
     /// Run parameter; must match exactly or the comparison is invalid.
@@ -48,6 +55,11 @@ pub fn classify(key: &str) -> MetricClass {
         _ if key.contains("ns_per") => MetricClass::Time { abs_floor: 1.0 },
         _ if key.ends_with("_pct") => MetricClass::Time { abs_floor: 2.0 },
         _ if key == "secs" || key.ends_with("_secs") => MetricClass::Time { abs_floor: 0.25 },
+        // Peak RSS (MiB): lower-better but allocator/OS dependent, so a
+        // generous floor keeps shared runners from tripping the gate.
+        _ if key.ends_with("_mib") => MetricClass::Time { abs_floor: 32.0 },
+        // Throughput (events/s, M events/s, …): higher-better, noisy.
+        _ if key.contains("per_sec") => MetricClass::Rate { abs_floor: 0.2 },
         _ => MetricClass::Count,
     }
 }
@@ -144,7 +156,7 @@ impl DiffReport {
         let times: Vec<&Delta> = self
             .deltas
             .iter()
-            .filter(|d| matches!(d.class, MetricClass::Time { .. }))
+            .filter(|d| matches!(d.class, MetricClass::Time { .. } | MetricClass::Rate { .. }))
             .collect();
         let counts = self.deltas.len() - times.len();
         let worst = times.iter().max_by(|a, b| {
@@ -285,6 +297,9 @@ fn walk(
                 MetricClass::Time { abs_floor } => {
                     !tol.ignore_time && *c > *b + (tol.time_rel * b.abs()).max(abs_floor)
                 }
+                MetricClass::Rate { abs_floor } => {
+                    !tol.ignore_time && *c < *b - (tol.time_rel * b.abs()).max(abs_floor)
+                }
                 MetricClass::Count => (c - b).abs() > 1e-9,
                 MetricClass::Config => {
                     if (c - b).abs() > 1e-9 {
@@ -340,6 +355,50 @@ mod tests {
 
     fn cmp(base: &str, cur: &str, tol: Tolerances) -> DiffReport {
         compare(&parse(base).unwrap(), &parse(cur).unwrap(), &tol)
+    }
+
+    #[test]
+    fn rate_metrics_regress_downward_only() {
+        // Higher throughput is fine…
+        let r = cmp(
+            r#"{"events_per_sec_m":3.0,"completed":5}"#,
+            r#"{"events_per_sec_m":4.5,"completed":5}"#,
+            Tolerances::default(),
+        );
+        assert!(!r.regressed(), "{}", r.render());
+        // …a collapse is a regression…
+        let r = cmp(
+            r#"{"events_per_sec_m":3.0,"completed":5}"#,
+            r#"{"events_per_sec_m":1.0,"completed":5}"#,
+            Tolerances::default(),
+        );
+        assert!(r.regressed(), "{}", r.render());
+        assert_eq!(r.regressions()[0].path, "events_per_sec_m");
+        // …and small dips sit inside the tolerance.
+        let r = cmp(
+            r#"{"events_per_sec_m":3.0,"completed":5}"#,
+            r#"{"events_per_sec_m":2.8,"completed":5}"#,
+            Tolerances::default(),
+        );
+        assert!(!r.regressed(), "{}", r.render());
+    }
+
+    #[test]
+    fn rss_metrics_get_an_absolute_floor() {
+        // +20 MiB on a 13 MiB baseline is huge relatively but inside
+        // the allocator-noise floor.
+        let r = cmp(
+            r#"{"peak_rss_mib":13.0}"#,
+            r#"{"peak_rss_mib":33.0}"#,
+            Tolerances::default(),
+        );
+        assert!(!r.regressed(), "{}", r.render());
+        let r = cmp(
+            r#"{"peak_rss_mib":13.0}"#,
+            r#"{"peak_rss_mib":200.0}"#,
+            Tolerances::default(),
+        );
+        assert!(r.regressed(), "{}", r.render());
     }
 
     #[test]
