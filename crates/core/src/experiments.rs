@@ -93,6 +93,40 @@ impl ExpOptions {
     }
 }
 
+/// The scan-heavy 100-DPN point used by the sharded `--scale` leg and
+/// `examples/shard_speedup.rs`: one long exclusive scan of 400 objects
+/// declustered over two nodes, λ at ≈ 72 % of the machine's capacity
+/// (0.25 TPS). Long scans make slice rotations — the work the sharded
+/// engine parallelizes — dominate the event mix (≈ 800 rotations per
+/// transaction against a handful of CN events), which is exactly the
+/// regime the ROADMAP's 100–1000-DPN runs live in. `horizon` sets the
+/// run length: ~0.18 transactions arrive per second of simulated time.
+pub fn scan_heavy_point(horizon: Duration) -> SimConfig {
+    use bds_workload::pattern::{Pattern, StepTemplate};
+    use bds_workload::spec::{Access, LockMode};
+    let pattern = Pattern::new(
+        1,
+        vec![StepTemplate {
+            slot: 0,
+            mode: LockMode::Exclusive,
+            access: Access::Read,
+            cost: 400.0,
+        }],
+    );
+    let mut c = SimConfig::new(
+        SchedulerKind::C2pl,
+        WorkloadKind::Custom {
+            pattern,
+            num_files: 2_000,
+        },
+    );
+    c.costs.num_nodes = 100;
+    c.dd = 2;
+    c.lambda_tps = 0.18;
+    c.horizon = horizon;
+    c
+}
+
 /// The λ range probed by the RT-target bisection (the machine saturates
 /// near 1.11 TPS for Pattern 1).
 const BISECT_LO: f64 = 0.05;

@@ -6,7 +6,7 @@
 //! time; the simulation session persists across connections).
 //!
 //! ```text
-//! {"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":2000}
+//! {"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":2000,"shards":4}
 //! {"cmd":"run-until","t_ms":50000}
 //! {"cmd":"step","n":10}
 //! {"cmd":"submit","steps":[["r",3,1200.0],["w",7,600.0]]}
@@ -93,6 +93,8 @@ fn serve_stream(reader: impl BufRead, mut writer: impl Write, session: &mut Sess
 struct Session {
     cfg: Option<SimConfig>,
     engine: Option<Engine>,
+    /// Worker shards for `run`/`run-until` (1 = serial engine loop).
+    shards: usize,
 }
 
 fn err(msg: &str) -> String {
@@ -311,9 +313,11 @@ impl Session {
         if let Some(dt) = get_u64(req, "metrics_dt_ms") {
             engine.set_metrics_interval(Duration::from_millis(dt));
         }
+        self.shards = get_u64(req, "shards").unwrap_or(1).max(1) as usize;
         let mut o = ok();
         o.str("scheduler", engine.label());
         o.int("horizon_ms", engine.horizon().as_millis());
+        o.int("shards", self.shards as u64);
         self.cfg = Some(cfg);
         self.engine = Some(engine);
         Ok(o.finish())
@@ -343,8 +347,13 @@ impl Session {
 
     fn run_until(&mut self, req: &JsonValue) -> Result<String, String> {
         let t = get_u64(req, "t_ms").ok_or("run-until wants t_ms")?;
+        let shards = self.shards;
         let e = self.engine()?;
-        let n = e.run_until(SimTime::from_millis(t));
+        let n = if shards > 1 {
+            e.run_until_sharded(SimTime::from_millis(t), shards)
+        } else {
+            e.run_until(SimTime::from_millis(t))
+        };
         let mut o = ok();
         o.int("events", n);
         o.int("now_ms", e.now().as_millis());
@@ -352,9 +361,14 @@ impl Session {
     }
 
     fn run(&mut self) -> Result<String, String> {
+        let shards = self.shards;
         let e = self.engine()?;
         let before = e.events_processed();
-        e.run_to_horizon();
+        if shards > 1 {
+            e.run_to_horizon_sharded(shards);
+        } else {
+            e.run_to_horizon();
+        }
         let mut o = ok();
         o.int("events", e.events_processed() - before);
         o.int("now_ms", e.now().as_millis());

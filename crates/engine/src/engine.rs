@@ -221,10 +221,17 @@ pub(crate) struct Txn {
     pub(crate) fault_kills: u32,
 }
 
+mod shard;
+
 /// The incremental step engine (see the module docs).
 pub struct Engine {
     placement: Placement,
     events: EventQueue<Event>,
+    /// Simulated time of the last processed event. Mirrors
+    /// `events.now()` in serial runs; during a sharded run it can run
+    /// ahead of the queue clock while DPN-local slice ends (held in
+    /// shard lanes rather than the global queue) are processed.
+    clock: SimTime,
     cn: FcfsServer,
     dpns: Vec<Dpn>,
     scheduler: Box<dyn Scheduler>,
@@ -320,6 +327,10 @@ pub struct Engine {
     /// Set by [`Engine::replace_scheduler`]: a custom scheduler cannot
     /// be rebuilt from `SchedulerKind`, so checkpointing is refused.
     custom_scheduler: bool,
+    /// Live sharded-run state; `Some` only while
+    /// [`Engine::run_until_sharded`] executes. Every other entry point
+    /// sees a plain serial engine.
+    shard_rt: Option<shard::ShardRt>,
     cfg: SimConfig,
 }
 
@@ -400,6 +411,7 @@ impl Engine {
         Engine {
             placement,
             events,
+            clock: SimTime::ZERO,
             cn: FcfsServer::new(SimTime::ZERO),
             dpns: (0..cfg.costs.num_nodes).map(|_| Dpn::new()).collect(),
             scheduler: cfg.scheduler.build(&cfg.costs),
@@ -450,6 +462,7 @@ impl Engine {
             oplog: None,
             admission_hold: false,
             custom_scheduler: false,
+            shard_rt: None,
             cfg: cfg.clone(),
         }
     }
@@ -564,6 +577,7 @@ impl Engine {
             self.sample_metrics(t);
         }
         let Scheduled { event, .. } = self.events.pop().expect("peeked event vanished");
+        self.clock = t;
         self.handle(event);
         Some(t)
     }
@@ -727,9 +741,10 @@ impl Engine {
         self.events.events_processed()
     }
 
-    /// Current simulated time (the timestamp of the last popped event).
+    /// Current simulated time (the timestamp of the last processed
+    /// event).
     pub fn now(&self) -> SimTime {
-        self.events.now()
+        self.clock
     }
 
     /// The active scheduler's display label.
@@ -1270,14 +1285,9 @@ impl Engine {
                 });
                 // net_delay is zero in the paper; the cohort starts now.
                 debug_assert_eq!(start_at, now);
-                if let Some(end) = self.dpns[node.0 as usize].add_cohort(start_at, cohort) {
-                    self.events.schedule_at(
-                        end,
-                        Event::SliceEnd {
-                            node: node.0,
-                            epoch: self.dpn_epoch[node.0 as usize],
-                        },
-                    );
+                let epoch = self.dpn_epoch[node.0 as usize];
+                if let Some(end) = self.with_dpn(node.0, |d| d.add_cohort(start_at, cohort)) {
+                    self.schedule_slice_end(node.0, end, epoch);
                 }
                 continue;
             }
@@ -1341,14 +1351,9 @@ impl Engine {
                 node: n,
             },
         });
-        if let Some(end) = self.dpns[n as usize].add_cohort(now, cohort) {
-            self.events.schedule_at(
-                end,
-                Event::SliceEnd {
-                    node: n,
-                    epoch: self.dpn_epoch[n as usize],
-                },
-            );
+        let epoch = self.dpn_epoch[n as usize];
+        if let Some(end) = self.with_dpn(n, |d| d.add_cohort(now, cohort)) {
+            self.schedule_slice_end(n, end, epoch);
         }
     }
 
@@ -1366,10 +1371,9 @@ impl Engine {
             return;
         }
         let now = self.now();
-        let out = self.dpns[node as usize].on_slice_end(now);
+        let out = self.with_dpn(node, |d| d.on_slice_end(now));
         if let Some(end) = out.next_slice_end {
-            self.events
-                .schedule_at(end, Event::SliceEnd { node, epoch });
+            self.schedule_slice_end(node, end, epoch);
         }
         if self.tracer.enabled() {
             // Owner lookup must precede the `finished` removal below.
@@ -1566,7 +1570,10 @@ impl Engine {
             } else {
                 self.cfg.restart_delay
             };
-            self.events.schedule_after(delay, Event::Restart { id });
+            // Anchored at the engine clock, not the queue clock: during
+            // a sharded run the queue clock can lag while lane-held
+            // slice ends are processed.
+            self.events.schedule_at(now + delay, Event::Restart { id });
         }
         self.wake_waiters(&released);
         self.released_buf = released;
@@ -1595,8 +1602,8 @@ impl Engine {
                 self.node_up[n] = false;
                 self.down_since[n] = Some(now);
                 // Tombstone every slice scheduled on this node.
-                self.dpn_epoch[n] += 1;
-                let lost = self.dpns[n].crash(now);
+                self.bump_epoch(node);
+                let lost = self.with_dpn(node, |d| d.crash(now));
                 let mut victims: Vec<TxnId> = lost
                     .iter()
                     .filter_map(|cid| self.cohort_owner.remove(cid.0).map(TxnId))
@@ -1687,8 +1694,9 @@ impl Engine {
     fn arm_retry_tick(&mut self) {
         if !self.retry_tick_armed && !self.pending.is_empty() {
             self.retry_tick_armed = true;
-            self.events
-                .schedule_after(self.cfg.retry_delay, Event::RetryTick);
+            // Engine clock, not queue clock (see `abort_txn`).
+            let at = self.now() + self.cfg.retry_delay;
+            self.events.schedule_at(at, Event::RetryTick);
         }
     }
 
@@ -1920,6 +1928,7 @@ impl Engine {
                 .map(|&(at, event)| Scheduled { at, event })
                 .collect(),
         );
+        e.clock = snap.now;
         e.cn = FcfsServer::from_state(
             snap.cn_free_at,
             snap.cn_busy,

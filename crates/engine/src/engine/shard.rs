@@ -1,0 +1,854 @@
+//! Sharded execution: one simulation run spread across worker threads
+//! under a conservative time-window barrier.
+//!
+//! ## Protocol
+//!
+//! DPNs are partitioned into contiguous shards ([`ShardMap`]). Each
+//! shard owns its nodes' [`Dpn`] state and their pending `SliceEnd`
+//! events, lifted out of the global timing wheel into per-node *lanes*
+//! at setup (seqs preserved). Everything else — arrivals, CN phases,
+//! retry ticks, faults, cohort deliveries — stays in the global queue
+//! and is processed on the caller thread ("the frontier").
+//!
+//! The run alternates two phases:
+//!
+//! * **Window**: compute the next synchronization horizon
+//!   `W = min(T_global, FB)` where `T_global` is the global queue's
+//!   head time and `FB = min over busy nodes of (pending slice end +`
+//!   [`Dpn::finish_bound`]`)`. Strictly below `W` the only possible
+//!   events are node-local round-robin rotations and stale (crashed
+//!   epoch) tombstone pops — no cohort can finish and no CN
+//!   interaction can occur — so every shard rotates its own lanes up
+//!   to `W` in parallel with no cross-shard communication, then
+//!   rendezvous at the barrier.
+//! * **Frontier**: with no interior work left, the single earliest
+//!   event (global head or lane minimum) is processed on the caller
+//!   thread with full serial semantics, so all scheduler decisions and
+//!   CN-side state transitions stay on one deterministic thread.
+//!
+//! ## Determinism
+//!
+//! Byte-identity with the serial engine reduces to ordering: the serial
+//! loop pops events in exact `(time, insertion-seq)` order. Lane
+//! entries keep their insertion seqs; frontier pops compare lane
+//! minima against the global head by `(time, seq)`, resolving
+//! same-instant ties through [`EventQueue::pop_keyed`]. Within a
+//! window, rotations consume one seq each in serial pop order; the
+//! barrier reserves that many seqs in one block (keeping the counter
+//! identical) and assigns stamps to the *surviving* successor per node
+//! by replaying only the order decision, not the work: a survivor's
+//! serial seq order against another survivor at the same instant is
+//! the pop order of their creating rotations, which recursively is the
+//! lexicographic order of their reversed rotation-time chains, bottoming
+//! out at the pre-window stamps (`chain_cmp`). Stamps are invisible
+//! outside ordering (snapshots serialize `(time, event)` only), so an
+//! order-isomorphic assignment with the same counter consumption is
+//! byte-identical.
+//!
+//! FIFO same-instant order across shards is therefore preserved
+//! exactly: same-time events pop in the same relative order the serial
+//! engine would have popped them, whichever shard owns them.
+
+use super::{Engine, Event};
+use bds_des::events::Scheduled;
+use bds_des::time::SimTime;
+use bds_des::EventQueue;
+use bds_machine::{Dpn, ShardMap};
+use bds_metrics::Sampler;
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Stamp of a successor created inside the current window; replaced by
+/// a real seq at the barrier.
+const PENDING: u64 = u64::MAX;
+
+/// Fan out to the worker pool only when the window is estimated to
+/// hold at least this many rotations; thinner windows rotate inline
+/// (the barrier costs a few microseconds, a rotation ~100ns).
+const FANOUT_MIN_ROTATIONS: u64 = 64;
+
+/// A pending `SliceEnd` held in its node's shard lane instead of the
+/// global queue.
+#[derive(Debug, Clone, Copy)]
+struct LaneEntry {
+    at_ms: u64,
+    /// The event's insertion seq ([`PENDING`] until the barrier).
+    stamp: u64,
+    epoch: u32,
+}
+
+/// One DPN's shard-owned state.
+struct NodeSlot {
+    dpn: Dpn,
+    /// Mirror of `Engine::dpn_epoch` (bumped together on crash) so
+    /// workers can tombstone stale lane entries without engine access.
+    epoch: u32,
+    /// Pending slice ends: at most one live entry plus stale
+    /// tombstones. Small — linear scans beat any structure.
+    lane: Vec<LaneEntry>,
+    /// Pop times of this window's live rotations, for `chain_cmp`.
+    rot_times: Vec<u64>,
+    /// Stamp of the first live entry popped this window (`chain_cmp`'s
+    /// base case).
+    chain_base: u64,
+}
+
+/// One shard's cell: its nodes plus cached aggregates. Workers lock
+/// only their own cell during a window; the caller locks cells between
+/// windows (uncontended).
+pub(super) struct ShardLocal {
+    first_node: u32,
+    nodes: Vec<NodeSlot>,
+    /// Live rotations performed this window.
+    win_rots: u64,
+    /// Stale tombstones popped this window.
+    win_stales: u64,
+    /// Latest entry time popped this window (rotations and stales):
+    /// serial `now()` tracks every pop, so the barrier must advance the
+    /// engine clock to the window's last interior pop.
+    win_max_ms: u64,
+    /// Aggregates below need recomputing.
+    dirty: bool,
+    /// Min `(at_ms, stamp, node)` over all lane entries.
+    agg_min: Option<(u64, u64, u32)>,
+    /// Min over busy nodes of (live slice end + finish bound), in ms.
+    agg_fb_ms: u64,
+    /// Busy node count.
+    agg_busy: u32,
+}
+
+impl ShardLocal {
+    /// Recompute cached aggregates if stale.
+    fn refresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.agg_min = None;
+        self.agg_fb_ms = u64::MAX;
+        self.agg_busy = 0;
+        for (ni, s) in self.nodes.iter().enumerate() {
+            let node = self.first_node + ni as u32;
+            let mut live_at = u64::MAX;
+            for e in &s.lane {
+                if self
+                    .agg_min
+                    .is_none_or(|(at, st, _)| (e.at_ms, e.stamp) < (at, st))
+                {
+                    self.agg_min = Some((e.at_ms, e.stamp, node));
+                }
+                if e.epoch == s.epoch {
+                    live_at = live_at.min(e.at_ms);
+                }
+            }
+            if let Some(b) = s.dpn.finish_bound() {
+                self.agg_busy += 1;
+                debug_assert_ne!(live_at, u64::MAX, "busy node without a live slice end");
+                self.agg_fb_ms = self.agg_fb_ms.min(live_at.saturating_add(b.as_millis()));
+            }
+        }
+    }
+
+    /// Rotate every node's lane strictly below `w_ms`: pop the minimal
+    /// `(at, stamp)` entry, tombstone stales, run live slice ends
+    /// against the DPN (provably rotation-only below the window bound)
+    /// and enqueue the successor with a [`PENDING`] stamp.
+    fn rotate_below(&mut self, w_ms: u64) {
+        let mut rots = 0u64;
+        let mut stales = 0u64;
+        for slot in &mut self.nodes {
+            loop {
+                let mut best: Option<usize> = None;
+                for (k, e) in slot.lane.iter().enumerate() {
+                    if e.at_ms < w_ms
+                        && best.is_none_or(|b| {
+                            (e.at_ms, e.stamp) < (slot.lane[b].at_ms, slot.lane[b].stamp)
+                        })
+                    {
+                        best = Some(k);
+                    }
+                }
+                let Some(k) = best else { break };
+                let e = slot.lane.swap_remove(k);
+                self.win_max_ms = self.win_max_ms.max(e.at_ms);
+                if e.epoch != slot.epoch {
+                    // Scheduled before a crash of the node; the slice
+                    // never ran. Pure tombstone pop.
+                    stales += 1;
+                    continue;
+                }
+                if slot.rot_times.is_empty() {
+                    debug_assert_ne!(e.stamp, PENDING, "window-start entry lacks a stamp");
+                    slot.chain_base = e.stamp;
+                }
+                let out = slot.dpn.on_slice_end(SimTime::from_millis(e.at_ms));
+                // The window bound guarantees no finish below W; a
+                // violation here would silently diverge from serial, so
+                // check it even in release builds.
+                assert!(
+                    out.finished.is_none(),
+                    "cohort finish inside a conservative window"
+                );
+                let end = out
+                    .next_slice_end
+                    .expect("non-finishing rotation left the node idle");
+                slot.rot_times.push(e.at_ms);
+                slot.lane.push(LaneEntry {
+                    at_ms: end.as_millis(),
+                    stamp: PENDING,
+                    epoch: slot.epoch,
+                });
+                rots += 1;
+            }
+        }
+        self.win_rots += rots;
+        self.win_stales += stales;
+        self.dirty = true;
+    }
+}
+
+/// Order two same-instant window survivors by the serial seqs they
+/// would have been assigned: the pop order of their creating rotations,
+/// recursively the lexicographic order of the reversed rotation-time
+/// chains, bottoming out at the pre-window stamps. A side that exhausts
+/// its chain first bottomed out at a pre-window stamp, which is smaller
+/// than any stamp assigned inside the window.
+fn chain_cmp(m: &NodeSlot, n: &NodeSlot) -> CmpOrdering {
+    let (a, b) = (&m.rot_times, &n.rot_times);
+    let mut i = a.len();
+    let mut j = b.len();
+    debug_assert!(i > 0 && j > 0, "chain_cmp on a node that did not rotate");
+    loop {
+        match a[i - 1].cmp(&b[j - 1]) {
+            CmpOrdering::Equal => {}
+            ord => return ord,
+        }
+        match (i, j) {
+            (1, 1) => return m.chain_base.cmp(&n.chain_base),
+            (1, _) => return CmpOrdering::Less,
+            (_, 1) => return CmpOrdering::Greater,
+            _ => {
+                i -= 1;
+                j -= 1;
+            }
+        }
+    }
+}
+
+/// The earliest lane entry across all shards.
+#[derive(Debug, Clone, Copy)]
+struct LaneRef {
+    at_ms: u64,
+    stamp: u64,
+    cell: usize,
+    node: u32,
+}
+
+/// Folded per-cell aggregates.
+struct Agg {
+    lane: Option<LaneRef>,
+    fb_ms: u64,
+    busy: u32,
+}
+
+/// Live sharded-run state hanging off the engine while
+/// [`Engine::run_until_sharded`] executes.
+pub(super) struct ShardRt {
+    cells: Vec<Arc<Mutex<ShardLocal>>>,
+    map: ShardMap,
+}
+
+impl ShardRt {
+    /// Refresh and fold every cell's aggregates (uncontended locks —
+    /// workers only hold their cell inside a window).
+    fn aggregates(&self) -> Agg {
+        let mut agg = Agg {
+            lane: None,
+            fb_ms: u64::MAX,
+            busy: 0,
+        };
+        for (ci, c) in self.cells.iter().enumerate() {
+            let mut l = c.lock().expect("poisoned shard cell");
+            l.refresh();
+            if let Some((at, st, node)) = l.agg_min {
+                if agg.lane.is_none_or(|m| (at, st) < (m.at_ms, m.stamp)) {
+                    agg.lane = Some(LaneRef {
+                        at_ms: at,
+                        stamp: st,
+                        cell: ci,
+                        node,
+                    });
+                }
+            }
+            agg.fb_ms = agg.fb_ms.min(l.agg_fb_ms);
+            agg.busy += l.agg_busy;
+        }
+        agg
+    }
+
+    /// Remove the referenced lane entry.
+    fn pop_lane(&self, r: LaneRef) -> LaneEntry {
+        let mut l = self.cells[r.cell].lock().expect("poisoned shard cell");
+        l.dirty = true;
+        let ni = (r.node - l.first_node) as usize;
+        let slot = &mut l.nodes[ni];
+        let k = slot
+            .lane
+            .iter()
+            .position(|e| e.at_ms == r.at_ms && e.stamp == r.stamp)
+            .expect("lane entry vanished");
+        slot.lane.swap_remove(k)
+    }
+
+    /// Run `f` on a node's slot (marks the cell's aggregates dirty).
+    fn with_slot<R>(&self, node: u32, f: impl FnOnce(&mut NodeSlot) -> R) -> R {
+        let ci = self.map.shard_of(node);
+        let mut l = self.cells[ci].lock().expect("poisoned shard cell");
+        l.dirty = true;
+        let ni = (node - l.first_node) as usize;
+        f(&mut l.nodes[ni])
+    }
+}
+
+/// Barrier coordination between the caller and the worker pool.
+struct Coord {
+    /// Bumped by the caller to start a window (or, with `stop` set, to
+    /// shut the pool down).
+    round: AtomicU64,
+    /// The current window bound, in ms.
+    window_ms: AtomicU64,
+    /// Workers done with the current window.
+    done: AtomicU64,
+    stop: AtomicBool,
+}
+
+struct Pool<'a> {
+    coord: &'a Coord,
+    threads: Vec<std::thread::Thread>,
+}
+
+/// Worker: rotate own cell each round until stopped. Spins briefly
+/// between rounds (windows are back-to-back on busy runs), then parks;
+/// the caller unparks on fan-out and shutdown.
+fn worker_loop(coord: &Coord, cell: Arc<Mutex<ShardLocal>>) {
+    let mut seen = 0u64;
+    loop {
+        let round = 'wait: {
+            for i in 0..4096 {
+                let r = coord.round.load(Ordering::Acquire);
+                if r != seen {
+                    break 'wait r;
+                }
+                if i < 512 {
+                    std::hint::spin_loop();
+                } else {
+                    // Past the hot-barrier fast path: let the caller
+                    // (or a sibling) have the core before parking.
+                    std::thread::yield_now();
+                }
+            }
+            loop {
+                let r = coord.round.load(Ordering::Acquire);
+                if r != seen {
+                    break 'wait r;
+                }
+                std::thread::park_timeout(std::time::Duration::from_micros(100));
+            }
+        };
+        seen = round;
+        if coord.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let w = coord.window_ms.load(Ordering::Acquire);
+        cell.lock().expect("poisoned shard cell").rotate_below(w);
+        coord.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl Engine {
+    /// Access a DPN whichever side owns it: the engine's own vector in
+    /// serial state, its shard cell during a sharded run.
+    pub(super) fn with_dpn<R>(&mut self, node: u32, f: impl FnOnce(&mut Dpn) -> R) -> R {
+        match &self.shard_rt {
+            None => f(&mut self.dpns[node as usize]),
+            Some(rt) => rt.with_slot(node, |s| f(&mut s.dpn)),
+        }
+    }
+
+    /// Schedule a `SliceEnd`: into the global queue in serial state,
+    /// into the node's shard lane (with a freshly reserved seq — the
+    /// exact seq a serial `schedule_at` would have consumed) during a
+    /// sharded run.
+    pub(super) fn schedule_slice_end(&mut self, node: u32, at: SimTime, epoch: u32) {
+        if let Some(rt) = self.shard_rt.take() {
+            let stamp = self.events.reserve_seq();
+            rt.with_slot(node, |s| {
+                s.lane.push(LaneEntry {
+                    at_ms: at.as_millis(),
+                    stamp,
+                    epoch,
+                });
+            });
+            self.shard_rt = Some(rt);
+        } else {
+            self.events.schedule_at(at, Event::SliceEnd { node, epoch });
+        }
+    }
+
+    /// Bump a node's crash epoch on both sides (engine array and, mid
+    /// sharded run, the shard cell's mirror).
+    pub(super) fn bump_epoch(&mut self, node: u32) {
+        self.dpn_epoch[node as usize] += 1;
+        if let Some(rt) = &self.shard_rt {
+            rt.with_slot(node, |s| s.epoch += 1);
+        }
+    }
+
+    /// [`Engine::run_until`], sharded across `shards` worker threads
+    /// (clamped to the node count; the caller thread doubles as shard
+    /// 0's worker). Byte-identical to the serial engine for any shard
+    /// count. Falls back to the serial loop when a tracer or metrics
+    /// sampler is attached — both observers are defined by the serial
+    /// loop's per-event cadence.
+    pub fn run_until_sharded(&mut self, limit: SimTime, shards: usize) -> u64 {
+        let limit = limit.min(self.horizon());
+        if self.tracer.enabled() || !matches!(self.metrics, Sampler::Off) {
+            return self.run_until(limit);
+        }
+        let map = ShardMap::new(self.cfg.costs.num_nodes, shards);
+        let workers = map.shards() - 1;
+        self.shard_setup(map);
+        let (n, lane_pops) = if workers == 0 {
+            self.sharded_loop(limit, None)
+        } else {
+            let cells: Vec<Arc<Mutex<ShardLocal>>> = self
+                .shard_rt
+                .as_ref()
+                .expect("setup installed shard_rt")
+                .cells
+                .clone();
+            let coord = Coord {
+                round: AtomicU64::new(0),
+                window_ms: AtomicU64::new(0),
+                done: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+            };
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = cells[1..]
+                    .iter()
+                    .map(|cell| {
+                        let cell = Arc::clone(cell);
+                        let coord = &coord;
+                        scope.spawn(move || worker_loop(coord, cell))
+                    })
+                    .collect();
+                let pool = Pool {
+                    coord: &coord,
+                    threads: handles.iter().map(|h| h.thread().clone()).collect(),
+                };
+                let r = self.sharded_loop(limit, Some(&pool));
+                coord.stop.store(true, Ordering::Release);
+                coord.round.fetch_add(1, Ordering::Release);
+                for t in &pool.threads {
+                    t.unpark();
+                }
+                r
+            })
+        };
+        self.shard_teardown(lane_pops);
+        n
+    }
+
+    /// [`Engine::run_to_horizon`], sharded (see
+    /// [`Engine::run_until_sharded`]).
+    pub fn run_to_horizon_sharded(&mut self, shards: usize) {
+        let horizon = self.horizon();
+        self.run_until_sharded(horizon, shards);
+    }
+
+    /// Lift pending `SliceEnd`s out of the wheel into per-node lanes
+    /// (seqs preserved) and move the DPNs into shard cells.
+    fn shard_setup(&mut self, map: ShardMap) {
+        debug_assert!(self.shard_rt.is_none(), "nested sharded run");
+        debug_assert_eq!(self.clock, self.events.now());
+        let now = self.events.now();
+        let popped = self.events.events_processed();
+        let next_seq = self.events.seq_counter();
+        let num_nodes = self.dpns.len();
+        let mut lanes: Vec<Vec<LaneEntry>> = vec![Vec::new(); num_nodes];
+        let mut kept = Vec::new();
+        for (seq, s) in self.events.snapshot_entries_seq() {
+            match s.event {
+                Event::SliceEnd { node, epoch } => lanes[node as usize].push(LaneEntry {
+                    at_ms: s.at.as_millis(),
+                    stamp: seq,
+                    epoch,
+                }),
+                _ => kept.push((seq, s)),
+            }
+        }
+        self.events = EventQueue::from_entries_seq(now, popped, next_seq, kept);
+        let mut dpns = std::mem::take(&mut self.dpns).into_iter();
+        let mut lanes = lanes.into_iter();
+        let mut cells = Vec::with_capacity(map.shards());
+        for sh in 0..map.shards() {
+            let range = map.range(sh);
+            let nodes: Vec<NodeSlot> = range
+                .clone()
+                .map(|n| NodeSlot {
+                    dpn: dpns.next().expect("DPN count mismatch"),
+                    epoch: self.dpn_epoch[n as usize],
+                    lane: lanes.next().expect("lane count mismatch"),
+                    rot_times: Vec::new(),
+                    chain_base: 0,
+                })
+                .collect();
+            cells.push(Arc::new(Mutex::new(ShardLocal {
+                first_node: range.start,
+                nodes,
+                win_rots: 0,
+                win_stales: 0,
+                win_max_ms: 0,
+                dirty: true,
+                agg_min: None,
+                agg_fb_ms: u64::MAX,
+                agg_busy: 0,
+            })));
+        }
+        self.shard_rt = Some(ShardRt { cells, map });
+    }
+
+    /// Merge the lanes back into a rebuilt queue (sorted by
+    /// `(time, seq)`, pop count restored) and return the DPNs, leaving
+    /// a plain serial engine indistinguishable from one that never
+    /// sharded.
+    fn shard_teardown(&mut self, lane_pops: u64) {
+        let rt = self.shard_rt.take().expect("teardown without setup");
+        let now = self.clock;
+        let popped = self.events.events_processed() + lane_pops;
+        let next_seq = self.events.seq_counter();
+        let mut merged = self.events.snapshot_entries_seq();
+        let mut dpns = Vec::with_capacity(self.dpn_epoch.len());
+        for cell in rt.cells {
+            let local = Arc::try_unwrap(cell)
+                .ok()
+                .expect("a worker still holds a shard cell")
+                .into_inner()
+                .expect("poisoned shard cell");
+            let first = local.first_node;
+            for (ni, slot) in local.nodes.into_iter().enumerate() {
+                let node = first + ni as u32;
+                for e in slot.lane {
+                    debug_assert_ne!(e.stamp, PENDING, "unstamped survivor at teardown");
+                    merged.push((
+                        e.stamp,
+                        Scheduled {
+                            at: SimTime::from_millis(e.at_ms),
+                            event: Event::SliceEnd {
+                                node,
+                                epoch: e.epoch,
+                            },
+                        },
+                    ));
+                }
+                dpns.push(slot.dpn);
+            }
+        }
+        merged.sort_by_key(|&(seq, ref s)| (s.at, seq));
+        self.dpns = dpns;
+        self.events = EventQueue::from_entries_seq(now, popped, next_seq, merged);
+    }
+
+    /// The window/frontier loop. Returns `(events processed, lane
+    /// pops)` — lane pops bypass the queue's own counter and are folded
+    /// back in at teardown.
+    fn sharded_loop(&mut self, limit: SimTime, pool: Option<&Pool<'_>>) -> (u64, u64) {
+        let quantum_ms = self.cfg.costs.quantum(self.cfg.dd).as_millis().max(1);
+        let limit_ms = limit.as_millis();
+        let mut processed = 0u64;
+        let mut lane_pops = 0u64;
+        loop {
+            let g_ms = self.events.peek_time().map(|t| t.as_millis());
+            let agg = self
+                .shard_rt
+                .as_ref()
+                .expect("sharded loop without shard_rt")
+                .aggregates();
+            let lane_at = agg.lane.map(|l| l.at_ms);
+            let next_ms = match (g_ms, lane_at) {
+                (None, None) => break,
+                (a, b) => a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX)),
+            };
+            if next_ms > limit_ms {
+                break;
+            }
+            let w_ms = agg
+                .fb_ms
+                .min(g_ms.unwrap_or(u64::MAX))
+                .min(limit_ms.saturating_add(1));
+            if w_ms > next_ms {
+                // Interior span [next, W): rotation-only, shard-local.
+                let est = u64::from(agg.busy).saturating_mul((w_ms - next_ms) / quantum_ms + 1);
+                match pool.filter(|_| est >= FANOUT_MIN_ROTATIONS) {
+                    Some(p) => {
+                        p.coord.window_ms.store(w_ms, Ordering::Release);
+                        p.coord.done.store(0, Ordering::Release);
+                        p.coord.round.fetch_add(1, Ordering::Release);
+                        for t in &p.threads {
+                            t.unpark();
+                        }
+                        // The caller doubles as shard 0's worker.
+                        let rt = self.shard_rt.as_ref().expect("shard_rt vanished");
+                        rt.cells[0]
+                            .lock()
+                            .expect("poisoned shard cell")
+                            .rotate_below(w_ms);
+                        let n = p.threads.len() as u64;
+                        // Bounded spin, then yield: when shards exceed
+                        // free cores the workers need this CPU, and
+                        // yielding degrades to "slower", not "stalls a
+                        // scheduler quantum per window".
+                        let mut spins = 0u32;
+                        while p.coord.done.load(Ordering::Acquire) < n {
+                            spins += 1;
+                            if spins < 1024 {
+                                std::hint::spin_loop();
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    None => {
+                        let rt = self.shard_rt.as_ref().expect("shard_rt vanished");
+                        for c in &rt.cells {
+                            c.lock().expect("poisoned shard cell").rotate_below(w_ms);
+                        }
+                    }
+                }
+                let pops = self.finish_window();
+                processed += pops;
+                lane_pops += pops;
+                continue;
+            }
+            // Frontier: the single earliest event, serial semantics.
+            match (g_ms, agg.lane) {
+                (Some(g), Some(l)) if l.at_ms == g => {
+                    // Same-instant tie: serial order is by seq among the
+                    // global head and the lane entries at this time. Pop
+                    // the head to learn its seq; lane stamps below it go
+                    // first (in stamp order), then the head itself.
+                    let (s, gseq) = self.events.pop_keyed().expect("peeked event vanished");
+                    debug_assert_eq!(s.at.as_millis(), g);
+                    processed += 1;
+                    loop {
+                        let lm = self
+                            .shard_rt
+                            .as_ref()
+                            .expect("shard_rt vanished")
+                            .aggregates()
+                            .lane;
+                        match lm {
+                            Some(l2) if l2.at_ms == g && l2.stamp < gseq => {
+                                let e = self
+                                    .shard_rt
+                                    .as_ref()
+                                    .expect("shard_rt vanished")
+                                    .pop_lane(l2);
+                                self.clock = SimTime::from_millis(g);
+                                lane_pops += 1;
+                                processed += 1;
+                                self.on_slice_end(l2.node, e.epoch);
+                            }
+                            _ => break,
+                        }
+                    }
+                    self.clock = s.at;
+                    self.handle(s.event);
+                }
+                (Some(_), lane) if lane.is_none_or(|l| l.at_ms > g_ms.unwrap_or(u64::MAX)) => {
+                    let (s, _seq) = self.events.pop_keyed().expect("peeked event vanished");
+                    self.clock = s.at;
+                    processed += 1;
+                    self.handle(s.event);
+                }
+                (_, Some(l)) => {
+                    // Lane strictly earliest (or the queue is empty).
+                    let e = self
+                        .shard_rt
+                        .as_ref()
+                        .expect("shard_rt vanished")
+                        .pop_lane(l);
+                    self.clock = SimTime::from_millis(l.at_ms);
+                    lane_pops += 1;
+                    processed += 1;
+                    self.on_slice_end(l.node, e.epoch);
+                }
+                _ => unreachable!("no frontier event despite next_ms"),
+            }
+        }
+        (processed, lane_pops)
+    }
+
+    /// Barrier: reserve the seq block the serial engine would have
+    /// consumed this window and stamp each node's surviving successor
+    /// in serial order (grouped by time, `chain_cmp` within a group).
+    /// Returns the window's pop count.
+    fn finish_window(&mut self) -> u64 {
+        let rt = self.shard_rt.as_ref().expect("shard_rt vanished");
+        let mut guards: Vec<MutexGuard<'_, ShardLocal>> = rt
+            .cells
+            .iter()
+            .map(|c| c.lock().expect("poisoned shard cell"))
+            .collect();
+        let mut rots = 0u64;
+        let mut pops = 0u64;
+        let mut max_ms = 0u64;
+        // (survivor time, cell, node index)
+        let mut survivors: Vec<(u64, usize, usize)> = Vec::new();
+        for (ci, l) in guards.iter().enumerate() {
+            rots += l.win_rots;
+            pops += l.win_rots + l.win_stales;
+            max_ms = max_ms.max(l.win_max_ms);
+            for (ni, s) in l.nodes.iter().enumerate() {
+                if !s.rot_times.is_empty() {
+                    let at = s
+                        .lane
+                        .iter()
+                        .find(|e| e.stamp == PENDING)
+                        .expect("rotated node without a survivor")
+                        .at_ms;
+                    survivors.push((at, ci, ni));
+                }
+            }
+        }
+        debug_assert!(survivors.len() as u64 <= rots);
+        if rots > 0 {
+            let first_stamp = self.events.reserve_seqs(rots);
+            survivors.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| chain_cmp(&guards[a.1].nodes[a.2], &guards[b.1].nodes[b.2]))
+            });
+            for (next_stamp, &(at, ci, ni)) in (first_stamp..).zip(survivors.iter()) {
+                let slot = &mut guards[ci].nodes[ni];
+                let e = slot
+                    .lane
+                    .iter_mut()
+                    .find(|e| e.stamp == PENDING)
+                    .expect("survivor vanished");
+                debug_assert_eq!(e.at_ms, at);
+                e.stamp = next_stamp;
+                slot.rot_times.clear();
+            }
+        }
+        for mut l in guards {
+            l.win_rots = 0;
+            l.win_stales = 0;
+            l.win_max_ms = 0;
+            l.dirty = true;
+        }
+        if pops > 0 {
+            // Serial `now()` is the time of the last pop; interior pops
+            // bypass the frontier's clock updates, so advance here.
+            self.clock = self.clock.max(SimTime::from_millis(max_ms));
+        }
+        pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{SimConfig, WorkloadKind};
+    use crate::engine::Engine;
+    use crate::metrics::SimReport;
+    use bds_des::time::{Duration, SimTime};
+    use bds_fault::FaultPlan;
+    use bds_sched::SchedulerKind;
+
+    fn cfg(kind: SchedulerKind) -> SimConfig {
+        let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+        c.horizon = Duration::from_secs(300);
+        c.lambda_tps = 0.6;
+        c
+    }
+
+    fn serial(c: &SimConfig) -> SimReport {
+        let mut e = Engine::new(c);
+        e.run_to_horizon();
+        e.report()
+    }
+
+    fn sharded(c: &SimConfig, shards: usize) -> SimReport {
+        let mut e = Engine::new(c);
+        e.run_to_horizon_sharded(shards);
+        e.report()
+    }
+
+    #[test]
+    fn sharded_matches_serial_all_schedulers() {
+        for kind in SchedulerKind::PAPER_SET {
+            let c = cfg(kind);
+            let want = serial(&c);
+            for s in [1usize, 2, 3, 8] {
+                assert_eq!(sharded(&c, s), want, "{kind} shards={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_faults() {
+        let plan = FaultPlan::parse("crash=0@100x10,crash=3@150x20").expect("plan parses");
+        for kind in [SchedulerKind::C2pl, SchedulerKind::Nodc] {
+            let c = cfg(kind).with_faults(plan.clone());
+            let want = serial(&c);
+            for s in [2usize, 8] {
+                assert_eq!(sharded(&c, s), want, "{kind} shards={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_declustered() {
+        let mut c = cfg(SchedulerKind::Gow);
+        c.dd = 4;
+        let want = serial(&c);
+        for s in [2usize, 5, 8] {
+            assert_eq!(sharded(&c, s), want, "shards={s}");
+        }
+    }
+
+    #[test]
+    fn sharded_prefix_then_serial_suffix_matches() {
+        // Teardown must leave the queue byte-identical to the serial
+        // engine's state at the cut, so the remainder replays exactly.
+        let c = cfg(SchedulerKind::C2pl);
+        let want = serial(&c);
+        for cut_ms in [1u64, 37_000, 100_000, 299_999] {
+            let mut e = Engine::new(&c);
+            let mut n = e.run_until_sharded(SimTime::from_millis(cut_ms), 4);
+            n += e.run_until(e.horizon());
+            assert_eq!(e.report(), want, "cut at {cut_ms}ms");
+            assert_eq!(n, want.events, "cut at {cut_ms}ms");
+        }
+    }
+
+    #[test]
+    fn alternating_serial_sharded_segments_match() {
+        let c = cfg(SchedulerKind::Low(2));
+        let want = serial(&c);
+        let mut e = Engine::new(&c);
+        let mut n = 0u64;
+        n += e.run_until(SimTime::from_millis(50_000));
+        n += e.run_until_sharded(SimTime::from_millis(120_000), 3);
+        n += e.run_until(SimTime::from_millis(200_000));
+        n += e.run_until_sharded(e.horizon(), 8);
+        assert_eq!(e.report(), want);
+        assert_eq!(n, want.events);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_clamps() {
+        let c = cfg(SchedulerKind::Nodc);
+        assert_eq!(sharded(&c, 64), serial(&c));
+    }
+}

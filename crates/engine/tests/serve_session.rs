@@ -234,6 +234,46 @@ fn restored_session_finishes_identically() {
 }
 
 #[test]
+fn sharded_session_matches_serial() {
+    // The `shards` knob changes wall-clock strategy only: a session run
+    // with worker shards must produce byte-identical reports — and keep
+    // snapshot/restore working — versus a plain serial session.
+    let dir = std::env::temp_dir();
+    let ckpt = dir.join(format!("bds-serve-shard-{}.json", std::process::id()));
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+    let serial_cfg = r#"{"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":300,"seed":17,"faults":"crash=1@60x20"}"#;
+    let sharded_cfg = r#"{"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":300,"seed":17,"faults":"crash=1@60x20","shards":4}"#;
+
+    let mut a = Serve::spawn();
+    a.send(serial_cfg);
+    a.send(r#"{"cmd":"run"}"#);
+    let serial = a.send(r#"{"cmd":"report"}"#);
+    a.quit();
+
+    let mut b = Serve::spawn();
+    let r = b.send(sharded_cfg);
+    assert_eq!(num(&r, "shards"), 4);
+    b.send(r#"{"cmd":"run-until","t_ms":90000}"#);
+    let status = b.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+    // A snapshot taken between sharded runs restores into the same
+    // session and the remainder still matches the serial outcome.
+    b.send(&format!(r#"{{"cmd":"snapshot","path":"{ckpt_str}"}}"#));
+    b.send(r#"{"cmd":"run-until","t_ms":200000}"#);
+    b.send(&format!(r#"{{"cmd":"restore","path":"{ckpt_str}"}}"#));
+    b.send(r#"{"cmd":"run"}"#);
+    let sharded = b.send(r#"{"cmd":"report"}"#);
+    b.quit();
+
+    assert_eq!(
+        serial.get("report"),
+        sharded.get("report"),
+        "sharded session diverged from serial"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
 fn tcp_listener_serves_the_same_protocol() {
     use std::net::TcpStream;
 

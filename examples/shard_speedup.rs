@@ -1,0 +1,59 @@
+//! Shards-vs-wallclock sweep: run the scan-heavy 100-DPN point at
+//! 1/2/4/8 shards and print an ASCII speedup table, so the scaling
+//! curve is reproducible without the full bench harness.
+//!
+//! ```text
+//! cargo run --release --example shard_speedup [horizon_secs]
+//! ```
+//!
+//! Every row's report is asserted byte-identical to the serial run —
+//! sharding changes wall clock, never results. Expect real speedup only
+//! with ≥ 2 cores free; the table prints the machine's available
+//! parallelism so a flat curve on a small box explains itself.
+
+use batchsched::des::Duration;
+use batchsched::experiments::scan_heavy_point;
+use batchsched::sim::Simulator;
+use std::time::Instant;
+
+fn main() {
+    let horizon_secs: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("horizon_secs must be an integer"))
+        .unwrap_or(100_000);
+    let cfg = scan_heavy_point(Duration::from_secs(horizon_secs));
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    println!(
+        "shard speedup — {} DPNs, {} files, λ = {} TPS, horizon {horizon_secs}s, {cores} core(s)",
+        cfg.costs.num_nodes,
+        cfg.workload.num_files(),
+        cfg.lambda_tps
+    );
+    println!();
+
+    let t0 = Instant::now();
+    let serial = Simulator::run(&cfg);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "serial: {} arrived, {} committed, {} events in {serial_secs:.2}s",
+        serial.arrived, serial.completed, serial.events
+    );
+    println!();
+    println!(
+        "{:>6} {:>9} {:>9} {:>12}",
+        "shards", "wall(s)", "speedup", "M events/s"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let report = Simulator::run_sharded(&cfg, shards);
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(report, serial, "sharded run diverged at shards={shards}");
+        println!(
+            "{shards:>6} {secs:>9.2} {:>8.2}x {:>12.2}",
+            serial_secs / secs,
+            report.events as f64 / secs / 1e6
+        );
+    }
+}

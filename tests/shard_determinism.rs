@@ -1,0 +1,187 @@
+//! Sharded execution must not change results: a single simulation run
+//! split across worker shards with the conservative time-window barrier
+//! must be byte-identical to the serial engine — over every paper
+//! artifact, at mid-run snapshot granularity, and across a
+//! checkpoint-from-sharded → restore-to-serial hop.
+//!
+//! This holds because every scheduler and CN decision still executes on
+//! one deterministic thread at the window frontier; shards only pump
+//! DPN-local slice rotations inside the proven-safe window, and the
+//! barrier re-stamps surviving slice-end events in the serial engine's
+//! (time, insertion-seq) total order.
+
+use batchsched::config::{SimConfig, WorkloadKind};
+use batchsched::des::{Duration, SimTime};
+use batchsched::engine::{Engine, Snapshot};
+use batchsched::experiments::{self, ExpOptions, ARTIFACT_IDS};
+use batchsched::fault::FaultPlan;
+use batchsched::parallel::ExecCtx;
+use batchsched::sim::Simulator;
+use bds_sched::SchedulerKind;
+
+/// FNV-1a 64-bit, dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The frozen seed-engine hashes from `tests/parallel_determinism.rs`:
+/// sharding rides under the same contract as `--jobs` parallelism, so a
+/// sharded rendering must reproduce the very same bytes. Regenerate with
+/// `cargo run --release --example golden_hashes` only on an intentional
+/// output change (and update both copies).
+const GOLDEN: [(&str, u64); 10] = [
+    ("fig8", 0xcd26cd3df8091310),
+    ("table2", 0xd134324c420ce3ed),
+    ("fig9", 0xfbd69094188e993c),
+    ("table3", 0x1a35c8cc818750e6),
+    ("fig10", 0xb032eaca38824799),
+    ("fig11", 0x9d893e80b4cca078),
+    ("table4", 0x073f6876f26412f9),
+    ("fig12", 0xda21eafa3dd26982),
+    ("fig13", 0x54ecc37c9d5d5325),
+    ("table5", 0xf2c13016c980e8ea),
+];
+
+/// Tiny deterministic generator for randomized cut points — the test
+/// must not depend on wall-clock entropy.
+fn pick(seed: u64, bound: u64) -> u64 {
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    1 + x % bound.max(1)
+}
+
+const CRASHY: &str = "crash=1@40x20,crash=4@90x15,retry=1000:8000:4";
+
+fn cfg(kind: SchedulerKind, faults: bool) -> SimConfig {
+    let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
+    c.lambda_tps = 0.6;
+    c.horizon = Duration::from_secs(300);
+    if faults {
+        c = c.with_faults(FaultPlan::parse(CRASHY).expect("plan parses"));
+    }
+    c
+}
+
+/// Every quick-mode paper artifact rendered at shards = 1, 2 and 8 must
+/// be byte-identical — to each other and to the frozen golden hashes the
+/// `--jobs` determinism test pins, so both parallelism axes provably
+/// produce the same bytes.
+#[test]
+fn artifacts_identical_at_shards_1_2_and_8() {
+    let opts = ExpOptions::quick();
+    let contexts = [
+        ExecCtx::new(1).with_shards(1),
+        ExecCtx::new(1).with_shards(2),
+        ExecCtx::new(1).with_shards(8),
+    ];
+    for (i, id) in ARTIFACT_IDS.iter().enumerate() {
+        let renders: Vec<String> = contexts
+            .iter()
+            .map(|ctx| {
+                experiments::run_artifact_with(id, &opts, ctx)
+                    .table
+                    .render()
+            })
+            .collect();
+        assert_eq!(
+            renders[0], renders[1],
+            "artifact '{id}' differs between shards=1 and shards=2"
+        );
+        assert_eq!(
+            renders[0], renders[2],
+            "artifact '{id}' differs between shards=1 and shards=8"
+        );
+        let (gid, want) = GOLDEN[i];
+        assert_eq!(gid, *id, "golden table out of sync with ARTIFACT_IDS");
+        assert_eq!(
+            fnv1a(renders[0].as_bytes()),
+            want,
+            "artifact '{id}' diverged from the seed engine's output"
+        );
+    }
+    // Every context must have simulated the same set of distinct points.
+    assert_eq!(contexts[0].cache().len(), contexts[1].cache().len());
+    assert_eq!(contexts[0].cache().len(), contexts[2].cache().len());
+}
+
+/// A sharded run paused at an arbitrary sync point must leave the engine
+/// in *exactly* the serial engine's state — compared through the full
+/// snapshot wire format, not just the report. Cut times are drawn from a
+/// deterministic generator so the probed window boundaries vary without
+/// wall-clock entropy.
+#[test]
+fn mid_run_snapshots_match_serial_at_randomized_cuts() {
+    for (si, (kind, faults)) in [(SchedulerKind::Gow, false), (SchedulerKind::C2pl, true)]
+        .into_iter()
+        .enumerate()
+    {
+        let c = cfg(kind, faults);
+        let horizon_ms = c.horizon.as_millis();
+        for probe in 0..3u64 {
+            let cut = pick(si as u64 * 31 + probe * 7 + 1, horizon_ms - 1);
+            let shards = [2, 3, 8][probe as usize % 3];
+
+            let mut serial = Engine::new(&c);
+            serial.enable_checkpointing();
+            serial.run_until(SimTime::from_millis(cut));
+
+            let mut sharded = Engine::new(&c);
+            sharded.enable_checkpointing();
+            sharded.run_until_sharded(SimTime::from_millis(cut), shards);
+
+            assert_eq!(
+                serial.snapshot().to_json(),
+                sharded.snapshot().to_json(),
+                "{kind:?} faults={faults}: snapshot at t={cut}ms differs \
+                 between serial and shards={shards}"
+            );
+        }
+    }
+}
+
+/// Checkpoint-from-sharded → restore-to-serial identity: a snapshot
+/// taken after a *sharded* partial run, restored into a plain serial
+/// engine and run out, must reproduce the uninterrupted serial report —
+/// for every scheduler of the paper, with and without fault injection.
+#[test]
+fn checkpoint_from_sharded_restores_to_serial_identity() {
+    for faults in [false, true] {
+        for (i, kind) in SchedulerKind::PAPER_SET.into_iter().enumerate() {
+            let c = cfg(kind, faults);
+            let bulk = Simulator::run(&c);
+            let cut = pick(i as u64 + u64::from(faults) * 97, c.horizon.as_millis() - 1);
+            let shards = 2 + (i % 3); // 2, 3, 4 across the set
+
+            let mut e = Engine::new(&c);
+            e.enable_checkpointing();
+            e.run_until_sharded(SimTime::from_millis(cut), shards);
+            let text = e.snapshot().to_json();
+            let back = Snapshot::from_json(&text).expect("snapshot JSON parses");
+
+            let mut restored = Engine::restore(&c, &back);
+            restored.run_to_horizon();
+            assert_eq!(
+                restored.report(),
+                bulk,
+                "{kind:?} faults={faults} cut={cut}ms shards={shards}: \
+                 restore-to-serial diverged from uninterrupted run"
+            );
+
+            // The engine that produced the snapshot also finishes
+            // identically when resumed sharded.
+            e.run_to_horizon_sharded(shards);
+            assert_eq!(
+                e.report(),
+                bulk,
+                "{kind:?} faults={faults}: snapshotting perturbed the sharded run"
+            );
+        }
+    }
+}
