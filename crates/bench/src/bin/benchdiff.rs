@@ -1,7 +1,7 @@
 //! `benchdiff` — the bench regression gate.
 //!
 //! ```text
-//! benchdiff BASELINE.json CURRENT.json [--tol-time PCT] [--ignore-time] [--strict]
+//! benchdiff BASELINE.json CURRENT.json [--tol-time PCT] [--ignore-time] [--strict] [--json]
 //! ```
 //!
 //! Compares two `BENCH_*.json` documents (as written by `repro`) and
@@ -21,7 +21,10 @@
 //! `--ignore-time` gates on counts/config only. `--strict` additionally
 //! fails when a baseline metric is missing from the current document
 //! (by default missing metrics are reported but tolerated, so the
-//! schema can evolve without re-pinning the baseline).
+//! schema can evolve without re-pinning the baseline). `--json` emits
+//! the full per-metric delta table (severity-sorted, with schema drift
+//! and the gate verdict) as one JSON object on stdout instead of the
+//! human table; exit codes are unchanged.
 //!
 //! Exit codes: `0` no regression · `1` regression · `2` usage or I/O
 //! error.
@@ -32,7 +35,7 @@ use bds_metrics::{compare, Tolerances};
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: benchdiff BASELINE.json CURRENT.json [--tol-time PCT] [--ignore-time] [--strict]"
+        "usage: benchdiff BASELINE.json CURRENT.json [--tol-time PCT] [--ignore-time] [--strict] [--json]"
     );
     std::process::exit(2);
 }
@@ -61,9 +64,11 @@ fn main() {
         ..Tolerances::default()
     };
     let mut paths: Vec<String> = Vec::new();
+    let mut json = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json = true,
             "--tol-time" => {
                 let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
                     usage_exit("--tol-time requires a percentage");
@@ -87,7 +92,11 @@ fn main() {
     let base = load(base_path);
     let cur = load(cur_path);
     let report = compare(&base, &cur, &tol);
-    print!("{}", report.render());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.regressed() {
         eprintln!("benchdiff: '{cur_path}' regresses against '{base_path}'");
         std::process::exit(1);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N] [--shards M] [--trace DIR]
-//!       [--metrics DIR] [--faults PLAN] [--scale] [artifact...]
+//!       [--metrics DIR] [--profile DIR] [--faults PLAN] [--scale]
+//!       [artifact...]
 //! ```
 //!
 //! With no artifact arguments, every table and figure is regenerated in
@@ -33,6 +34,21 @@
 //! (`fig8_<sched>.timeseries.csv`), plus one cross-scheduler
 //! `fig8_percentiles.csv` with the log-bucketed response-time
 //! percentiles.
+//!
+//! `--profile DIR` re-runs the same high-contention Fig. 8 point per
+//! paper scheduler with the host-side profiler (`batchsched::obs`) on
+//! and writes, per scheduler, a phase-attribution profile JSON with a
+//! build-info header (`fig8_<sched>.profile.json`), a wall-clock Chrome
+//! trace of the cold phases (`fig8_<sched>.obs.chrome.json`) and a
+//! Prometheus text exposition (`fig8_<sched>.obs.prom`) into DIR. A
+//! final sharded leg profiles the same point under the
+//! conservative-window engine (`sharded.profile.json` etc.) and exits
+//! nonzero unless every shard's busy + barrier-wait residency explains
+//! ≥ 95 % of its measured wall clock. Independently of the flag, every
+//! full repro run measures the profiled-path overhead (min-of-three
+//! interleaved passes, reports byte-compared against the plain loop)
+//! and records it as `obs_overhead_pct` in `BENCH_repro.json` — same
+//! ≤ 2 % budget and `benchdiff` classification as step dispatch.
 //!
 //! `--scale` switches to the web-scale smoke target: instead of the
 //! paper artifacts, one 100-DPN, million-transaction C2PL run (Exp. 1,
@@ -90,7 +106,7 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: repro [--quick] [--csv] [--jobs N] [--shards M] [--trace DIR] [--metrics DIR] \
-         [--faults PLAN] [--scale] [artifact...]\n\
+         [--profile DIR] [--faults PLAN] [--scale] [artifact...]\n\
          \n\
          --jobs N    fan independent simulation cells across N worker threads\n\
          --shards M  shard each single simulation across M worker threads\n\
@@ -653,6 +669,110 @@ fn write_metrics_exports(dir: &str, opts: &ExpOptions) {
     eprintln!("[metrics percentiles -> {pct_path}]");
 }
 
+/// Run the profiled Fig. 8 point for every paper scheduler and write
+/// the phase-attribution profile JSON, the wall-clock Chrome trace, and
+/// the Prometheus exposition into `dir`. A final sharded leg profiles
+/// the same point under the conservative-window engine and exits
+/// nonzero unless every shard's busy + barrier-wait residency explains
+/// ≥ 95 % of its measured wall clock.
+fn write_profile_exports(dir: &str, opts: &ExpOptions, shards_req: Option<usize>) {
+    use batchsched::engine::Engine;
+    use batchsched::obs::Profiler;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: could not create profile dir '{dir}': {e}");
+        std::process::exit(1);
+    }
+    let export = |stem: &str, scheduler: &str, prof: &batchsched::obs::ObsReport| {
+        let mut o = JsonObj::new();
+        o.str("scheduler", scheduler);
+        o.raw("profile", &prof.to_json());
+        let json_path = format!("{dir}/{stem}.profile.json");
+        if let Err(e) = std::fs::write(&json_path, format!("{}\n", o.finish())) {
+            eprintln!("error: could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+        let chrome_path = format!("{dir}/{stem}.obs.chrome.json");
+        if let Err(e) = std::fs::write(&chrome_path, prof.chrome_trace()) {
+            eprintln!("error: could not write {chrome_path}: {e}");
+            std::process::exit(1);
+        }
+        let mut p = PromText::new();
+        prof.render_prom(&mut p, scheduler);
+        let prom_path = format!("{dir}/{stem}.obs.prom");
+        if let Err(e) = std::fs::write(&prom_path, p.finish()) {
+            eprintln!("error: could not write {prom_path}: {e}");
+            std::process::exit(1);
+        }
+        json_path
+    };
+    for kind in SchedulerKind::PAPER_SET {
+        let cfg = traced_point(kind, opts);
+        let mut engine = Engine::new(&cfg);
+        engine.set_profiler(Profiler::on());
+        engine.run_to_horizon();
+        let report = engine.report();
+        let prof = engine.take_profile().expect("profiler was installed");
+        let label = kind
+            .label()
+            .to_lowercase()
+            .replace("(k=", "_k")
+            .replace(')', "");
+        let top = prof
+            .phase_shares()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        let json_path = export(&format!("fig8_{label}"), &report.scheduler, &prof);
+        match top {
+            Some((phase, share)) => eprintln!(
+                "[profile {label}: {} committed, top phase {phase} {:.0}% -> {json_path}, .obs.chrome.json, .obs.prom]",
+                report.completed,
+                share * 100.0
+            ),
+            None => eprintln!("[profile {label}: {} committed -> {json_path}]", report.completed),
+        }
+    }
+    // Sharded leg: the same point under the conservative-window engine.
+    // Byte-identity against the serial reference plus the attribution
+    // gate: per shard, measured busy + barrier-wait must explain ≥ 95 %
+    // of that shard's wall clock, or the phase accounting has a hole.
+    let shards = shards_req.unwrap_or_else(|| default_jobs().min(4)).max(2);
+    let cfg = traced_point(SchedulerKind::C2pl, opts);
+    let serial = Simulator::run(&cfg);
+    let mut engine = Engine::new(&cfg);
+    engine.set_profiler(Profiler::on());
+    engine.run_to_horizon_sharded(shards);
+    assert_eq!(
+        engine.report().to_json(),
+        serial.to_json(),
+        "profiled sharded run diverged from the serial engine"
+    );
+    if let Some(reason) = engine.shard_fallback_reason() {
+        eprintln!("profile FAIL: sharded leg fell back to serial ({reason})");
+        std::process::exit(1);
+    }
+    let prof = engine.take_profile().expect("profiler was installed");
+    export("sharded", &serial.scheduler, &prof);
+    match prof.min_attribution() {
+        Some(a) if a >= 0.95 => eprintln!(
+            "[profile sharded: {} window(s), {} shard(s), min attribution {:.1}%]",
+            prof.windows,
+            prof.shards.len(),
+            a * 100.0
+        ),
+        other => {
+            eprintln!(
+                "profile FAIL: sharded busy+wait attribution {} < 95% over {} shard(s)",
+                match other {
+                    Some(a) => format!("{:.1}%", a * 100.0),
+                    None => "unavailable".into(),
+                },
+                prof.shards.len()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn fmt_opt(v: Option<f64>) -> String {
     match v {
         Some(x) => format!("{x:.4}"),
@@ -829,6 +949,53 @@ fn measure_step_overhead(bench: &mut JsonObj) {
     );
 }
 
+/// Measure host-profiler overhead: the identical fixed point once plain
+/// and once with the profiler installed, min of three interleaved
+/// passes (same jitter-damping rationale as `measure_step_overhead`).
+/// The reports must be byte-identical — probes never touch simulation
+/// state — and the profiled-path budget is ≤ 2 %, gated via the `_pct`
+/// classification in `benchdiff` exactly like step dispatch.
+fn measure_obs_overhead(bench: &mut JsonObj) {
+    use batchsched::engine::Engine;
+    use batchsched::obs::Profiler;
+    let mut cfg = SimConfig::new(SchedulerKind::C2pl, WorkloadKind::Exp1 { num_files: 16 });
+    cfg.lambda_tps = 1.1;
+    cfg.horizon = Duration::from_secs(2_000);
+    let mut plain_secs = f64::INFINITY;
+    let mut prof_secs = f64::INFINITY;
+    let mut plain = Simulator::run(&cfg); // warm both paths once
+    let mut probes = 0u64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        plain = Simulator::run(&cfg);
+        plain_secs = plain_secs.min(t0.elapsed().as_secs_f64());
+        let mut engine = Engine::new(&cfg);
+        engine.set_profiler(Profiler::on());
+        let t1 = Instant::now();
+        engine.run_to_horizon();
+        prof_secs = prof_secs.min(t1.elapsed().as_secs_f64());
+        assert_eq!(
+            engine.report().to_json(),
+            plain.to_json(),
+            "profiling perturbed the simulation"
+        );
+        let prof = engine.take_profile().expect("profiler was installed");
+        probes = prof.phases.iter().map(|p| p.count).sum();
+    }
+    let overhead_pct = (prof_secs - plain_secs) / plain_secs * 100.0;
+    let mut o = JsonObj::new();
+    o.num("plain_secs", plain_secs);
+    o.num("profiled_secs", prof_secs);
+    o.int("events", plain.events);
+    o.int("phase_probes", probes);
+    o.num("obs_overhead_pct", overhead_pct);
+    bench.raw("obs", &o.finish());
+    eprintln!(
+        "[obs overhead: {overhead_pct:+.2}% ({probes} probes over {} events)]",
+        plain.events
+    );
+}
+
 /// Wall-clock one fixed high-contention Fig. 8 point (Exp. 1, 16 files,
 /// λ = 1.1, 200 s horizon) per paper scheduler. The scheduler decision
 /// hot path dominates this point, so these timings track the
@@ -866,6 +1033,7 @@ fn main() {
     let mut shards_req: Option<usize> = None;
     let mut trace_dir: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
+    let mut profile_dir: Option<String> = None;
     let mut faults: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -883,6 +1051,12 @@ fn main() {
                     usage_exit("--metrics requires a directory");
                 };
                 metrics_dir = Some(d);
+            }
+            "--profile" => {
+                let Some(d) = it.next() else {
+                    usage_exit("--profile requires a directory");
+                };
+                profile_dir = Some(d);
             }
             "--faults" => {
                 let Some(p) = it.next() else {
@@ -1005,10 +1179,14 @@ fn main() {
     if let Some(dir) = &metrics_dir {
         write_metrics_exports(dir, &opts);
     }
+    if let Some(dir) = &profile_dir {
+        write_profile_exports(dir, &opts, shards_req);
+    }
     let mut bench = JsonObj::new();
     bench.str("bin", "repro");
     measure_trace_overhead(&mut bench);
     measure_step_overhead(&mut bench);
+    measure_obs_overhead(&mut bench);
     measure_scheduler_wallclock(&mut bench);
     measure_event_queue(&mut bench);
     bench.int("jobs", opts.jobs as u64);

@@ -68,6 +68,7 @@ pub use bds_engine as engine;
 pub use bds_fault as fault;
 pub use bds_machine as machine;
 pub use bds_metrics as telemetry;
+pub use bds_obs as obs;
 pub use bds_sched as sched;
 pub use bds_trace as trace;
 pub use bds_workload as workload;

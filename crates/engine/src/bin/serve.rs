@@ -17,10 +17,17 @@
 //! {"cmd":"report"}
 //! {"cmd":"status"}
 //! {"cmd":"trace","capacity":4096}   then later   {"cmd":"trace","dump":"/tmp/t.json"}
+//! {"cmd":"watch","t_ms":200000,"interval_ms":5000}
 //! {"cmd":"quit"}
 //! ```
 //!
 //! Every response carries `"ok":true` or `"ok":false` plus `"error"`.
+//! `watch` is the one streaming command: it advances the simulation in
+//! `interval_ms` sim-time chunks and emits one `{"watch":true,...}`
+//! NDJSON telemetry delta per chunk (engine progress, windowed
+//! commit/restart/arrival rates, host-profiler phase shares and
+//! shard/barrier stats) *before* the final `"ok"` reply, so a running
+//! simulation can be observed without stopping it.
 //! The binary uses only the standard library and the workspace's own
 //! hand-rolled JSON reader/writers — no external dependencies.
 
@@ -30,6 +37,7 @@ use bds_engine::engine::{AbortCause, Effect, Engine};
 use bds_engine::snapshot::Snapshot;
 use bds_fault::{FaultAction, FaultPlan};
 use bds_metrics::{parse, JsonValue, PromText};
+use bds_obs::Profiler;
 use bds_sched::SchedulerKind;
 use bds_trace::json::{JsonArr, JsonObj};
 use bds_trace::{chrome_trace, Tracer};
@@ -74,7 +82,7 @@ fn serve_stream(reader: impl BufRead, mut writer: impl Write, session: &mut Sess
         if line.trim().is_empty() {
             continue;
         }
-        let (reply, quit) = session.handle_line(&line);
+        let (reply, quit) = session.handle_line(&line, &mut writer);
         if writeln!(writer, "{reply}")
             .and_then(|()| writer.flush())
             .is_err()
@@ -235,7 +243,10 @@ fn effect_json(e: &Effect) -> String {
 
 impl Session {
     /// Dispatch one request line; returns (reply JSON, quit?).
-    fn handle_line(&mut self, line: &str) -> (String, bool) {
+    ///
+    /// `sink` is the live connection: only `watch` writes to it (one
+    /// NDJSON delta per interval, ahead of the final reply line).
+    fn handle_line(&mut self, line: &str, sink: &mut dyn Write) -> (String, bool) {
         let req = match parse(line) {
             Ok(v) => v,
             Err(e) => return (err(&format!("bad JSON: {e}")), false),
@@ -258,6 +269,7 @@ impl Session {
             "metrics" => self.metrics(&req),
             "report" => self.report(),
             "trace" => self.trace(&req),
+            "watch" => self.watch(&req, sink),
             "status" => self.status(),
             other => Err(format!("unknown cmd {other:?}")),
         };
@@ -312,6 +324,9 @@ impl Session {
         engine.enable_effects();
         if let Some(dt) = get_u64(req, "metrics_dt_ms") {
             engine.set_metrics_interval(Duration::from_millis(dt));
+        }
+        if let Some(JsonValue::Bool(true)) = req.get("profile") {
+            engine.set_profiler(Profiler::on());
         }
         self.shards = get_u64(req, "shards").unwrap_or(1).max(1) as usize;
         let mut o = ok();
@@ -468,7 +483,15 @@ impl Session {
         if check.cache_key() != snap.cache_key() {
             return Err("snapshot was taken under a different configuration".into());
         }
-        let mut engine = Engine::restore(base, &snap);
+        // Carry the session's profiler across the rebuild so a watch or
+        // profile spanning a restore keeps one continuous timeline (the
+        // rebuild itself lands in the `restore` phase).
+        let obs = self
+            .engine
+            .as_mut()
+            .map(Engine::take_profiler)
+            .unwrap_or_default();
+        let mut engine = Engine::restore_with_profiler(base, &snap, obs);
         engine.enable_effects();
         let mut o = ok();
         o.str("scheduler", engine.label());
@@ -654,6 +677,7 @@ impl Session {
     }
 
     fn status(&mut self) -> Result<String, String> {
+        let shards = self.shards;
         let e = self.engine()?;
         let mut o = ok();
         o.str("scheduler", e.label());
@@ -668,6 +692,148 @@ impl Session {
             "conserved",
             e.arrived() == e.completed() + e.killed() + e.in_flight(),
         );
+        o.int("shards", shards as u64);
+        o.bool("profiler", e.profiler_enabled());
+        // Why sharded runs (if any) degraded to the serial loop — stays
+        // set for the session once tripped, so a client that configured
+        // shards>1 can see its parallelism silently went away.
+        match e.shard_fallback_reason() {
+            Some(reason) => o.str("shard_fallback", reason),
+            None => o.raw("shard_fallback", "null"),
+        }
+        o.raw("build", &bds_obs::build_info_json());
         Ok(o.finish())
     }
+
+    /// Advance the simulation in `interval_ms` sim-time chunks up to
+    /// `t_ms` (default: the horizon), streaming one NDJSON telemetry
+    /// delta per chunk to the client before the final reply. Installs
+    /// the host profiler if none is attached, so phase shares and
+    /// shard/barrier stats are included from the first delta.
+    fn watch(&mut self, req: &JsonValue, sink: &mut dyn Write) -> Result<String, String> {
+        let shards = self.shards;
+        let e = self
+            .engine
+            .as_mut()
+            .ok_or("no session: send configure first")?;
+        let target = get_u64(req, "t_ms")
+            .unwrap_or(e.horizon().as_millis())
+            .min(e.horizon().as_millis());
+        let interval = get_u64(req, "interval_ms").unwrap_or(1_000);
+        if interval == 0 {
+            return Err("interval_ms must be positive".into());
+        }
+        let max_deltas = get_u64(req, "max_deltas").unwrap_or(u64::MAX);
+        if !e.profiler_enabled() {
+            e.set_profiler(Profiler::on());
+        }
+        let started = std::time::Instant::now();
+        let mut prev = WatchPoint::capture(e, e.now().as_millis());
+        let mut deltas = 0u64;
+        // Advance a sim-time cursor rather than chasing `e.now()`: once
+        // the event queue drains the clock stops moving, but the cursor
+        // still reaches `target` and the loop terminates.
+        let mut cursor = prev.t_ms;
+        while cursor < target && deltas < max_deltas {
+            cursor = (cursor + interval).min(target);
+            if shards > 1 {
+                e.run_until_sharded(SimTime::from_millis(cursor), shards);
+            } else {
+                e.run_until(SimTime::from_millis(cursor));
+            }
+            let cur = WatchPoint::capture(e, cursor);
+            deltas += 1;
+            let line = watch_delta(e, &prev, &cur, deltas, started.elapsed().as_millis() as u64);
+            if writeln!(sink, "{line}")
+                .and_then(|()| sink.flush())
+                .is_err()
+            {
+                break; // client went away; stop advancing on its behalf
+            }
+            prev = cur;
+        }
+        let mut o = ok();
+        o.int("deltas", deltas);
+        o.int("t_ms", target);
+        o.int("interval_ms", interval);
+        o.int("now_ms", e.now().as_millis());
+        o.int("events", e.events_processed());
+        Ok(o.finish())
+    }
+}
+
+/// Counter snapshot at one watch interval boundary; deltas between two
+/// of these give the windowed rates.
+struct WatchPoint {
+    /// Interval-boundary sim time (not `e.now()`, which stops at the
+    /// last event), so rates divide by the full chunk width.
+    t_ms: u64,
+    events: u64,
+    arrived: u64,
+    completed: u64,
+    killed: u64,
+    restarts: u64,
+}
+
+impl WatchPoint {
+    fn capture(e: &Engine, t_ms: u64) -> WatchPoint {
+        let r = e.report();
+        WatchPoint {
+            t_ms,
+            events: e.events_processed(),
+            arrived: e.arrived(),
+            completed: e.completed(),
+            killed: e.killed(),
+            restarts: r.restarts,
+        }
+    }
+}
+
+/// One `{"watch":true,...}` NDJSON line: cumulative progress, windowed
+/// per-sim-second rates, and (when the profiler is live) phase shares
+/// plus shard/barrier telemetry.
+fn watch_delta(e: &Engine, prev: &WatchPoint, cur: &WatchPoint, seq: u64, wall_ms: u64) -> String {
+    let mut o = JsonObj::new();
+    o.bool("watch", true);
+    o.int("seq", seq);
+    o.int("now_ms", cur.t_ms);
+    o.int("wall_ms", wall_ms);
+    o.int("events", cur.events);
+    o.int("arrived", cur.arrived);
+    o.int("completed", cur.completed);
+    o.int("killed", cur.killed);
+    o.int("restarts", cur.restarts);
+    o.int("in_flight", e.in_flight());
+    let dt_s = cur.t_ms.saturating_sub(prev.t_ms) as f64 / 1e3;
+    let rate = |now: u64, before: u64| {
+        if dt_s > 0.0 {
+            now.saturating_sub(before) as f64 / dt_s
+        } else {
+            0.0
+        }
+    };
+    let mut rates = JsonObj::new();
+    rates.num("arrivals_per_s", rate(cur.arrived, prev.arrived));
+    rates.num("commits_per_s", rate(cur.completed, prev.completed));
+    rates.num("restarts_per_s", rate(cur.restarts, prev.restarts));
+    rates.num("events_per_s", rate(cur.events, prev.events));
+    o.raw("rates", &rates.finish());
+    if let Some(prof) = e.profile() {
+        let mut phases = JsonObj::new();
+        for (label, share) in prof.phase_shares() {
+            phases.num(label, share);
+        }
+        o.raw("phases", &phases.finish());
+        let mut obs = JsonObj::new();
+        obs.int("windows", prof.windows);
+        obs.int("rotations", prof.rotations);
+        obs.int("stales", prof.stales);
+        obs.int("fanout_taken", prof.fanout_taken);
+        obs.int("fanout_inline", prof.fanout_inline);
+        obs.int("shards", prof.shards.len() as u64);
+        obs.opt_num("imbalance", prof.imbalance());
+        obs.opt_num("min_attribution", prof.min_attribution());
+        o.raw("obs", &obs.finish());
+    }
+    o.finish()
 }

@@ -54,6 +54,7 @@ use bds_des::EventQueue;
 use bds_fault::{DegradedMode, FaultAction};
 use bds_machine::{Cohort, CohortId, Dpn, Placement};
 use bds_metrics::{LogHistogram, Sampler, TimeSeries};
+use bds_obs::{ObsReport, Phase as ObsPhase, Profiler};
 use bds_sched::{ReqDecision, Scheduler, SchedulerKind, StartDecision};
 use bds_trace::{EventKind, Rec, TraceData, Tracer};
 use bds_workload::arrivals::PoissonArrivals;
@@ -331,6 +332,16 @@ pub struct Engine {
     /// [`Engine::run_until_sharded`] executes. Every other entry point
     /// sees a plain serial engine.
     shard_rt: Option<shard::ShardRt>,
+    /// Host-side wall-clock profiler. Like the tracer it lives
+    /// off-config, never touches sim time or the RNG, and costs one
+    /// predictable branch per probe when off. Unlike the tracer it does
+    /// **not** force the sharded fast path back to serial — shard and
+    /// barrier telemetry is the point of it.
+    obs: Profiler,
+    /// First reason a [`Engine::run_until_sharded`] call fell back to
+    /// the serial loop (tracer/sampler attached); surfaced by
+    /// `bds-serve status`.
+    shard_fallback: Option<&'static str>,
     cfg: SimConfig,
 }
 
@@ -460,6 +471,8 @@ impl Engine {
             metrics_prev: PrevSample::default(),
             effects: None,
             oplog: None,
+            obs: Profiler::Off,
+            shard_fallback: None,
             admission_hold: false,
             custom_scheduler: false,
             shard_rt: None,
@@ -503,6 +516,41 @@ impl Engine {
     /// tracing was off).
     pub fn take_trace(&mut self) -> Option<TraceData> {
         std::mem::take(&mut self.tracer).finish()
+    }
+
+    /// Install a host-side profiler (replace any previous one). Unlike
+    /// the tracer/sampler this does not affect the sharded fast path —
+    /// profiled sharded runs stay byte-identical to serial.
+    pub fn set_profiler(&mut self, obs: Profiler) {
+        self.obs = obs;
+    }
+
+    /// Is a host-side profiler collecting?
+    pub fn profiler_enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Move the profiler out (leaving `Off`); used to carry profiling
+    /// across [`Engine::restore`], which builds a fresh engine.
+    pub fn take_profiler(&mut self) -> Profiler {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Detach the profiler and return its report (`None` when off).
+    pub fn take_profile(&mut self) -> Option<ObsReport> {
+        std::mem::take(&mut self.obs).finish()
+    }
+
+    /// Snapshot the live profile without stopping collection (`None`
+    /// when off). Drives the `watch` stream's phase/shard shares.
+    pub fn profile(&self) -> Option<ObsReport> {
+        self.obs.report()
+    }
+
+    /// First reason a sharded run fell back to the serial loop in this
+    /// engine's lifetime (`None` if it never did).
+    pub fn shard_fallback_reason(&self) -> Option<&'static str> {
+        self.shard_fallback
     }
 
     /// Collect [`Effect`]s for [`Engine::step`] from now on. Off by
@@ -566,10 +614,11 @@ impl Engine {
     /// driver shares.
     #[inline]
     fn pump(&mut self, limit: SimTime) -> Option<SimTime> {
-        let t = self.events.peek_time()?;
-        if t > limit {
+        let tok = self.obs.phase_start(ObsPhase::EventQueue);
+        let Some(t) = self.events.peek_time().filter(|&t| t <= limit) else {
+            self.obs.phase_end(tok);
             return None;
-        }
+        };
         // State is piecewise constant between events, so sampling the
         // pre-event state covers every grid point up to `t` exactly.
         // One predictable branch when sampling is off.
@@ -578,6 +627,7 @@ impl Engine {
         }
         let Scheduled { event, .. } = self.events.pop().expect("peeked event vanished");
         self.clock = t;
+        self.obs.phase_end(tok);
         self.handle(event);
         Some(t)
     }
@@ -874,6 +924,7 @@ impl Engine {
         txn: Option<TxnId>,
         what: &'static str,
     ) -> SimTime {
+        let tok = self.obs.phase_start(ObsPhase::CnWork);
         let (begin, end) = self.cn.enqueue_span(now, demand);
         if !demand.is_zero() {
             self.tracer.emit(|| Rec {
@@ -885,6 +936,7 @@ impl Engine {
                 },
             });
         }
+        self.obs.phase_end(tok);
         end
     }
 
@@ -1013,7 +1065,9 @@ impl Engine {
             }
             let id = self.start_queue[i];
             self.op(|| SchedOp::TryStart { id });
+            let tok = self.obs.phase_start(ObsPhase::SchedulerDecide);
             let outcome = self.scheduler.try_start(id);
+            self.obs.phase_end(tok);
             if !outcome.cpu.is_zero() {
                 self.cn_work(now, outcome.cpu, Some(id), "sched");
                 costed_tests += 1;
@@ -1103,7 +1157,9 @@ impl Engine {
             },
         });
         self.op(|| SchedOp::Request { id, step });
+        let tok = self.obs.phase_start(ObsPhase::SchedulerDecide);
         let outcome = self.scheduler.request(id, step);
+        self.obs.phase_end(tok);
         match outcome.decision {
             ReqDecision::Granted => {
                 self.tracer.emit(|| Rec {
@@ -1435,7 +1491,9 @@ impl Engine {
             },
         });
         self.op(|| SchedOp::StepComplete { id, step });
+        let tok = self.obs.phase_start(ObsPhase::SchedulerDecide);
         self.scheduler.step_complete(id, step);
+        self.obs.phase_end(tok);
         let total_steps = self.txn(id).spec.len();
         let next = step + 1;
         self.txns.get_mut(id.0).expect("unknown txn").step = next;
@@ -1456,7 +1514,9 @@ impl Engine {
     fn finish_txn(&mut self, id: TxnId) {
         let now = self.now();
         self.op(|| SchedOp::Validate { id });
+        let tok = self.obs.phase_start(ObsPhase::SchedulerDecide);
         let valid = self.scheduler.validate(id).decision;
+        self.obs.phase_end(tok);
         self.tracer.emit(|| Rec {
             at: now,
             kind: EventKind::Certify { txn: id, ok: valid },
@@ -1465,7 +1525,9 @@ impl Engine {
             let mut touched = std::mem::take(&mut self.released_buf);
             touched.clear();
             self.op(|| SchedOp::Commit { id });
+            let tok = self.obs.phase_start(ObsPhase::SchedulerDecide);
             self.scheduler.commit_into(id, &mut touched);
+            self.obs.phase_end(tok);
             let txn = self.txns.remove(id.0).expect("commit of unknown txn");
             self.live.add(now, -1.0);
             self.completed += 1;
@@ -1528,6 +1590,7 @@ impl Engine {
             cause == AbortCause::Fault && kills >= self.cfg.faults.retry.max_attempts;
         let mut released = std::mem::take(&mut self.released_buf);
         released.clear();
+        let tok = self.obs.phase_start(ObsPhase::SchedulerDecide);
         if kill_for_good {
             self.op(|| SchedOp::Forget { id });
             self.scheduler.forget(id, &mut released);
@@ -1535,6 +1598,7 @@ impl Engine {
             self.op(|| SchedOp::Abort { id });
             self.scheduler.abort_into(id, &mut released);
         }
+        self.obs.phase_end(tok);
         self.live.add(now, -1.0);
         let had_cohorts = {
             let txn = self.txns.get_mut(id.0).expect("abort of unknown txn");
@@ -1784,6 +1848,13 @@ impl Engine {
     /// # Panics
     /// Panics if checkpointing is not enabled.
     pub fn snapshot(&mut self) -> Snapshot {
+        let tok = self.obs.phase_start(ObsPhase::Snapshot);
+        let snap = self.snapshot_inner();
+        self.obs.phase_end(tok);
+        snap
+    }
+
+    fn snapshot_inner(&mut self) -> Snapshot {
         let oplog = self
             .oplog
             .as_ref()
@@ -1895,6 +1966,19 @@ impl Engine {
             rt_log,
             metrics,
         }
+    }
+
+    /// [`Engine::restore`], timing the rebuild (including oplog replay)
+    /// under `obs`'s `Restore` phase and carrying `obs` onto the
+    /// restored engine. Restore builds a fresh engine, so the caller's
+    /// profiler must be moved across explicitly (see
+    /// [`Engine::take_profiler`]).
+    pub fn restore_with_profiler(base: &SimConfig, snap: &Snapshot, mut obs: Profiler) -> Engine {
+        let tok = obs.phase_start(ObsPhase::Restore);
+        let mut e = Engine::restore(base, snap);
+        obs.phase_end(tok);
+        e.obs = obs;
+        e
     }
 
     /// Rebuild an engine from a snapshot. `base` must be the

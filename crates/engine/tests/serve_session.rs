@@ -44,6 +44,29 @@ impl Serve {
         reply
     }
 
+    /// Send a streaming request: collect `{"watch":true,...}` delta
+    /// lines until the final reply arrives, which must be `"ok":true`.
+    fn send_watch(&mut self, req: &str) -> (Vec<JsonValue>, JsonValue) {
+        writeln!(self.stdin, "{req}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut deltas = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.stdout.read_line(&mut line).expect("read stream line");
+            let v = parse(&line).unwrap_or_else(|e| panic!("bad stream line {line:?}: {e}"));
+            if v.get("watch") == Some(&JsonValue::Bool(true)) {
+                deltas.push(v);
+                continue;
+            }
+            assert_eq!(
+                v.get("ok"),
+                Some(&JsonValue::Bool(true)),
+                "request {req} failed: {line}"
+            );
+            return (deltas, v);
+        }
+    }
+
     /// Send a request that must be refused.
     fn send_err(&mut self, req: &str) -> String {
         writeln!(self.stdin, "{req}").expect("write request");
@@ -271,6 +294,75 @@ fn sharded_session_matches_serial() {
         "sharded session diverged from serial"
     );
     let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn watch_streams_live_telemetry_deltas() {
+    // Reference: the same point run straight through, serial, unprofiled.
+    let mut a = Serve::spawn();
+    a.send(r#"{"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":300,"seed":5}"#);
+    a.send(r#"{"cmd":"run"}"#);
+    let plain = a.send(r#"{"cmd":"report"}"#);
+    a.quit();
+
+    // Watched session: sharded, advanced in 20 s chunks with one
+    // telemetry delta streamed per chunk.
+    let mut s = Serve::spawn();
+    s.send(
+        r#"{"cmd":"configure","scheduler":"gow","lambda":0.6,"horizon_s":300,"seed":5,"shards":2}"#,
+    );
+    let (deltas, reply) = s.send_watch(r#"{"cmd":"watch","t_ms":120000,"interval_ms":20000}"#);
+    assert_eq!(num(&reply, "deltas"), deltas.len() as u64);
+    assert!(deltas.len() >= 3, "wanted >=3 deltas, got {}", deltas.len());
+    for (i, d) in deltas.iter().enumerate() {
+        assert_eq!(num(d, "seq"), i as u64 + 1);
+        assert_eq!(num(d, "now_ms"), 20_000 * (i as u64 + 1));
+        let rates = d.get("rates").expect("rates object");
+        assert!(rates
+            .get("commits_per_s")
+            .and_then(JsonValue::as_num)
+            .is_some());
+        // watch auto-installs the profiler, so phase shares stream live.
+        let phases = d.get("phases").expect("phase shares");
+        assert!(phases
+            .get("event_queue")
+            .and_then(JsonValue::as_num)
+            .is_some());
+        let obs = d.get("obs").expect("shard/barrier stats");
+        assert!(obs.get("windows").and_then(JsonValue::as_num).is_some());
+    }
+    let last = deltas.last().expect("deltas");
+    assert!(num(last, "events") > 0);
+    assert!(num(last, "completed") > 0);
+    assert!(
+        num(last.get("obs").expect("obs"), "windows") > 0,
+        "sharded watch saw no barrier windows: {last:?}"
+    );
+
+    // Status is enriched with shard, profiler, fallback, and build info.
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+    assert_eq!(num(&status, "shards"), 2);
+    assert_eq!(status.get("profiler"), Some(&JsonValue::Bool(true)));
+    assert_eq!(status.get("shard_fallback"), Some(&JsonValue::Null));
+    let build = status.get("build").expect("build info");
+    assert_eq!(
+        build.get("package").and_then(JsonValue::as_str),
+        Some("batchsched")
+    );
+    assert!(build.get("version").and_then(JsonValue::as_str).is_some());
+
+    // Finish the horizon under watch; chunked advance + live profiling
+    // must not perturb the simulation outcome.
+    let (tail, _) = s.send_watch(r#"{"cmd":"watch","interval_ms":60000}"#);
+    assert!(!tail.is_empty());
+    let watched = s.send(r#"{"cmd":"report"}"#);
+    s.quit();
+    assert_eq!(
+        plain.get("report"),
+        watched.get("report"),
+        "watch changed the outcome"
+    );
 }
 
 #[test]

@@ -8,15 +8,22 @@ use crate::hist::LogHistogram;
 
 /// Builder for the Prometheus text exposition format (version 0.0.4):
 /// `# HELP` / `# TYPE` headers plus one sample line per metric, with
-/// optional `{label="value"}` pairs.
+/// optional `{label="value"}` pairs. Headers are emitted once per
+/// metric name — repeated calls for the same family (per-shard or
+/// per-phase series) append samples under the first header, as the
+/// format requires.
 #[derive(Debug, Default)]
 pub struct PromText {
     buf: String,
+    headered: std::collections::BTreeSet<String>,
 }
 
-/// Escape a label value per the exposition format.
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed.
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn render_labels(labels: &[(&str, &str)]) -> String {
@@ -50,6 +57,11 @@ impl PromText {
     }
 
     fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if !self.headered.insert(name.to_string()) {
+            return;
+        }
+        // Help text escapes backslash and line feed per the format.
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
         self.buf
             .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
     }
@@ -103,6 +115,155 @@ impl PromText {
     pub fn finish(self) -> String {
         self.buf
     }
+}
+
+/// Validate a Prometheus text exposition document as produced by
+/// [`PromText`]. Checks, line by line:
+///
+/// * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names
+///   `[a-zA-Z_][a-zA-Z0-9_]*`;
+/// * label values use only the legal escapes (`\\`, `\"`, `\n`);
+/// * sample values parse as a float or `NaN` / `+Inf` / `-Inf`;
+/// * at most one `# TYPE` per metric name, with a known kind, and every
+///   sample's family (the name less a `_bucket`/`_sum`/`_count`
+///   histogram suffix) carries one;
+/// * no duplicate series: a (name, sorted label set) pair appears once.
+///
+/// Returns the first violation as `Err`. Deliberately stricter than a
+/// scrape parser — arbitrary `#` comments and timestamps, which the
+/// format allows but [`PromText`] never writes, are rejected.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    fn valid_name(s: &str, allow_colon: bool) -> bool {
+        let mut chars = s.chars();
+        let Some(first) = chars.next() else {
+            return false;
+        };
+        let head_ok = first.is_ascii_alphabetic() || first == '_' || (allow_colon && first == ':');
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':'))
+    }
+    let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {ln}: TYPE without a kind"))?;
+                if !valid_name(name, true) {
+                    return Err(format!("line {ln}: bad metric name {name:?}"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {ln}: unknown TYPE kind {kind:?}"));
+                }
+                if !typed.insert(name.to_string()) {
+                    return Err(format!("line {ln}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_name(name, true) {
+                    return Err(format!("line {ln}: bad metric name {name:?}"));
+                }
+            } else {
+                return Err(format!("line {ln}: unexpected comment {line:?}"));
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {ln}: sample without a value: {line:?}"))?;
+        if !(value == "NaN" || value == "+Inf" || value == "-Inf") && value.parse::<f64>().is_err()
+        {
+            return Err(format!("line {ln}: bad sample value {value:?}"));
+        }
+        let (name, label_body) = match series.find('{') {
+            Some(at) => {
+                let body = series[at..]
+                    .strip_prefix('{')
+                    .and_then(|b| b.strip_suffix('}'))
+                    .ok_or_else(|| format!("line {ln}: unterminated label block"))?;
+                (&series[..at], Some(body))
+            }
+            None => (series, None),
+        };
+        if !valid_name(name, true) {
+            return Err(format!("line {ln}: bad metric name {name:?}"));
+        }
+        let mut labels: Vec<(String, String)> = Vec::new();
+        if let Some(body) = label_body {
+            let mut chars = body.chars();
+            loop {
+                let mut key = String::new();
+                let mut next = chars.next();
+                while let Some(c) = next {
+                    if c == '=' {
+                        break;
+                    }
+                    key.push(c);
+                    next = chars.next();
+                }
+                if next != Some('=') {
+                    return Err(format!("line {ln}: label without '=': {body:?}"));
+                }
+                if !valid_name(&key, false) {
+                    return Err(format!("line {ln}: bad label name {key:?}"));
+                }
+                if chars.next() != Some('"') {
+                    return Err(format!("line {ln}: unquoted value for label {key}"));
+                }
+                // Keep the escaped form; only validate the escapes.
+                let mut val = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some(e @ ('\\' | '"' | 'n')) => {
+                                val.push('\\');
+                                val.push(e);
+                            }
+                            other => {
+                                return Err(format!(
+                                    "line {ln}: illegal escape \\{} in label {key}",
+                                    other.map(String::from).unwrap_or_default()
+                                ))
+                            }
+                        },
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        c => val.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(format!("line {ln}: unterminated value for label {key}"));
+                }
+                labels.push((key, val));
+                match chars.next() {
+                    None => break,
+                    Some(',') => continue,
+                    Some(c) => return Err(format!("line {ln}: junk {c:?} after label value")),
+                }
+            }
+        }
+        labels.sort();
+        let series_key = format!("{name}{labels:?}");
+        if !seen.insert(series_key) {
+            return Err(format!("line {ln}: duplicate series {series:?}"));
+        }
+        let family_typed = typed.contains(name)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| typed.contains(base))
+            });
+        if !family_typed {
+            return Err(format!("line {ln}: sample {name} has no TYPE header"));
+        }
+    }
+    Ok(())
 }
 
 /// Render a value sequence as a one-line ASCII sparkline using the eight

@@ -25,7 +25,7 @@ pub mod jsonv;
 pub mod regress;
 pub mod series;
 
-pub use export::{sparkline, PromText};
+pub use export::{check_exposition, sparkline, PromText};
 pub use hist::{LogHistogram, REL_ERROR, TICKS_PER_SEC};
 pub use instrument::{Counter, Gauge};
 pub use jsonv::{parse, JsonValue};

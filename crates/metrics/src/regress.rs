@@ -22,6 +22,7 @@
 //! listed and ignored, so the schema can grow without re-pinning.
 
 use crate::jsonv::JsonValue;
+use bds_trace::json::{JsonArr, JsonObj};
 
 /// How a metric participates in the comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +45,18 @@ pub enum MetricClass {
     Count,
     /// Run parameter; must match exactly or the comparison is invalid.
     Config,
+}
+
+impl MetricClass {
+    /// Stable label for machine-readable output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricClass::Time { .. } => "time",
+            MetricClass::Rate { .. } => "rate",
+            MetricClass::Count => "count",
+            MetricClass::Config => "config",
+        }
+    }
 }
 
 /// Classify a metric by its leaf key.
@@ -187,16 +200,71 @@ impl DiffReport {
         }
     }
 
+    /// All compared metrics sorted by severity: regressions first, each
+    /// group worst relative change first. This is the row order of both
+    /// `render()` and `to_json()`.
+    pub fn by_severity(&self) -> Vec<&Delta> {
+        let mut v: Vec<&Delta> = self.deltas.iter().collect();
+        v.sort_by(|a, b| {
+            b.regressed.cmp(&a.regressed).then(
+                b.rel_change()
+                    .partial_cmp(&a.rel_change())
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        v
+    }
+
+    /// Machine-readable rendering: the full per-metric delta table
+    /// (severity-sorted), schema drift, and the gate verdict, as one
+    /// JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.bool("regressed", self.regressed());
+        o.str("summary", &self.summary_line());
+        let mut deltas = JsonArr::new();
+        for d in self.by_severity() {
+            let mut e = JsonObj::new();
+            e.str("path", &d.path);
+            e.str("class", d.class.label());
+            e.num("base", d.base);
+            e.num("cur", d.cur);
+            // Infinite (zero-baseline) changes serialize as null.
+            e.num("rel_change", d.rel_change());
+            e.bool("regressed", d.regressed);
+            deltas.raw(&e.finish());
+        }
+        o.raw("deltas", &deltas.finish());
+        for (key, items) in [
+            ("mismatches", &self.mismatches),
+            ("missing", &self.missing),
+            ("added", &self.added),
+        ] {
+            let mut arr = JsonArr::new();
+            for s in items {
+                arr.str(s);
+            }
+            o.raw(key, &arr.finish());
+        }
+        o.finish()
+    }
+
     /// Full multi-line rendering (regressions, mismatches, schema drift).
+    /// Regression rows are column-aligned and sorted worst-first.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for d in self.regressions() {
+        let rows: Vec<(&Delta, String, String, String)> = self
+            .regressions()
+            .into_iter()
+            .map(|d| (d, fmt_val(d.base), fmt_val(d.cur), fmt_rel(d.rel_change())))
+            .collect();
+        let w_path = rows.iter().map(|(d, ..)| d.path.len()).max().unwrap_or(0);
+        let w_base = rows.iter().map(|(_, b, ..)| b.len()).max().unwrap_or(0);
+        let w_cur = rows.iter().map(|(_, _, c, _)| c.len()).max().unwrap_or(0);
+        for (d, base, cur, rel) in &rows {
             out.push_str(&format!(
-                "REGRESSION  {}: {} -> {} ({})\n",
+                "REGRESSION  {:<w_path$}  {base:>w_base$} -> {cur:>w_cur$}  ({rel})\n",
                 d.path,
-                fmt_val(d.base),
-                fmt_val(d.cur),
-                fmt_rel(d.rel_change())
             ));
         }
         for m in &self.mismatches {
@@ -536,6 +604,78 @@ mod tests {
         );
         assert!(!r.regressed());
         assert_eq!(r.added, vec![".brand_new".to_string()]);
+    }
+
+    #[test]
+    fn json_output_is_severity_sorted_and_parses() {
+        let base = r#"{"a_secs":1.0,"b_secs":1.0,"completed":5,"label":"x"}"#;
+        let cur = r#"{"a_secs":1.3,"b_secs":9.0,"completed":5,"label":"y","extra":1}"#;
+        let r = cmp(base, cur, Tolerances::default());
+        let doc = crate::jsonv::parse(&r.to_json()).expect("to_json parses");
+        assert_eq!(doc.get("regressed"), Some(&JsonValue::Bool(true)));
+        let deltas = doc
+            .get("deltas")
+            .and_then(JsonValue::as_arr)
+            .expect("deltas");
+        assert_eq!(deltas.len(), 3);
+        // Severity order: the failing b_secs leads, then a_secs (larger
+        // rel change than the exact count), then completed.
+        let paths: Vec<&str> = deltas
+            .iter()
+            .map(|d| d.get("path").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(paths, ["b_secs", "a_secs", "completed"]);
+        assert_eq!(
+            deltas[0].get("class").and_then(JsonValue::as_str),
+            Some("time")
+        );
+        assert_eq!(deltas[0].get("regressed"), Some(&JsonValue::Bool(true)));
+        assert_eq!(deltas[1].get("regressed"), Some(&JsonValue::Bool(false)));
+        let mismatches = doc
+            .get("mismatches")
+            .and_then(JsonValue::as_arr)
+            .expect("mismatches");
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(
+            doc.get("added").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn zero_baseline_rel_change_serializes_as_null() {
+        let r = cmp(
+            r#"{"x_secs":0.0,"completed":1}"#,
+            r#"{"x_secs":5.0,"completed":1}"#,
+            Tolerances::default(),
+        );
+        let doc = crate::jsonv::parse(&r.to_json()).expect("to_json parses");
+        let deltas = doc
+            .get("deltas")
+            .and_then(JsonValue::as_arr)
+            .expect("deltas");
+        let x = deltas
+            .iter()
+            .find(|d| d.get("path").and_then(JsonValue::as_str) == Some("x_secs"))
+            .expect("x_secs delta");
+        assert_eq!(x.get("rel_change"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn render_aligns_regression_columns() {
+        let base = r#"{"short_secs":1.0,"a_much_longer_metric_secs":2.0}"#;
+        let cur = r#"{"short_secs":99.0,"a_much_longer_metric_secs":444.0}"#;
+        let r = cmp(base, cur, Tolerances::default());
+        let out = r.render();
+        let rows: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("REGRESSION  "))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        // Worst relative change first, and the "->" separators line up.
+        assert!(rows[0].contains("a_much_longer_metric_secs"));
+        let arrow = |l: &str| l.find("->").expect("arrow");
+        assert_eq!(arrow(rows[0]), arrow(rows[1]), "unaligned:\n{out}");
     }
 
     #[test]

@@ -1,0 +1,919 @@
+//! Host-side wall-clock profiler for the batchsched engine.
+//!
+//! The simulator can already explain *simulated* time (the trace and
+//! metrics layers); this crate explains where the *host's* seconds go.
+//! It follows the same enum-dispatch pattern as `Tracer`/`Sampler`:
+//! [`Profiler::Off`] is the default and compiles down to one predictable
+//! branch per probe, so an unprofiled run is byte-identical — and
+//! within noise, cycle-identical — to a build without the probes.
+//!
+//! Three kinds of data are collected when the profiler is on:
+//!
+//! * **Phase attribution** ([`Phase`]): scoped monotonic-clock timers
+//!   around the engine pump's leaf phases (scheduler decisions, CN work
+//!   enqueue, event-queue ops, sharded rotation drain, snapshot/
+//!   restore). Hot phases are stride-sampled — every call is counted,
+//!   every `STRIDE_HOT`-th call is timed — which keeps the on-overhead
+//!   inside the same ≤2 % budget as step dispatch while the estimate
+//!   `ns_sum × count / sampled` stays unbiased for i.i.d. durations.
+//! * **Shard/barrier telemetry**: per-window width, rotations, fan-out
+//!   taken vs. inline, and per-shard busy vs. spin/yield-wait
+//!   nanoseconds (mergeable across worker threads), from which the
+//!   report derives the imbalance ratio and the busy+wait attribution
+//!   fraction of each worker's wall-clock residency.
+//! * **Wall-clock spans**: a bounded ring of window/snapshot/restore
+//!   spans exported as a Chrome trace in *host* time, complementing the
+//!   sim-time exporter in `bds-trace`.
+//!
+//! Everything is wall-clock only: the profiler never reads or advances
+//! sim time, touches no RNG, and cannot reorder events, so profiled
+//! runs produce bit-identical artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bds_metrics::{LogHistogram, PromText};
+use bds_trace::json::{JsonArr, JsonObj};
+use std::time::Instant;
+
+/// Timed calls per sample for hot phases (cold phases time every call).
+/// Counts are exact regardless; only durations are sampled.
+pub const STRIDE_HOT: u32 = 64;
+
+/// Bounded capacity of the wall-clock span ring (windows, snapshots,
+/// restores); overflow increments a drop counter instead of growing.
+pub const SPAN_CAP: usize = 8192;
+
+/// A leaf phase of the engine pump, attributed by scoped timers.
+///
+/// Phases are non-overlapping by construction (each probe wraps a leaf
+/// scope that contains no other probe), so their estimated totals can
+/// be compared as shares of attributed time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Scheduler calls: `try_start`, `request`, `step_complete`,
+    /// validate/commit, abort/forget.
+    SchedulerDecide,
+    /// Control-node CPU burst enqueue (`cn_work`).
+    CnWork,
+    /// Event-queue peek/sample/pop in the pump.
+    EventQueue,
+    /// Sharded window work on the caller thread: own-cell rotation,
+    /// done-wait, and the stamping barrier.
+    RotationDrain,
+    /// Full-state snapshot serialization.
+    Snapshot,
+    /// Snapshot restore (including oplog replay).
+    Restore,
+}
+
+impl Phase {
+    /// Number of phases (array sizing).
+    pub const COUNT: usize = 6;
+
+    /// All phases, in report order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::SchedulerDecide,
+        Phase::CnWork,
+        Phase::EventQueue,
+        Phase::RotationDrain,
+        Phase::Snapshot,
+        Phase::Restore,
+    ];
+
+    /// Stable snake_case label used in every export.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::SchedulerDecide => "scheduler_decide",
+            Phase::CnWork => "cn_work",
+            Phase::EventQueue => "event_queue",
+            Phase::RotationDrain => "rotation_drain",
+            Phase::Snapshot => "snapshot",
+            Phase::Restore => "restore",
+        }
+    }
+
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Hot phases fire per event and are stride-sampled; cold phases
+    /// (windows, snapshot, restore) are rare and timed every call.
+    #[inline(always)]
+    fn stride(self) -> u32 {
+        match self {
+            Phase::SchedulerDecide | Phase::CnWork | Phase::EventQueue => STRIDE_HOT,
+            Phase::RotationDrain | Phase::Snapshot | Phase::Restore => 1,
+        }
+    }
+}
+
+/// Accumulated statistics for one phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStat {
+    /// Total probe entries (exact).
+    pub count: u64,
+    /// Entries that were actually timed.
+    pub sampled: u64,
+    /// Summed duration of the timed entries, ns.
+    pub ns_sum: u64,
+    /// Largest timed entry, ns.
+    pub ns_max: u64,
+}
+
+impl PhaseStat {
+    /// Estimated total wall time of the phase: sampled time scaled by
+    /// the sampling ratio (exact when every call is timed).
+    pub fn est_total_ns(&self) -> f64 {
+        if self.sampled == 0 {
+            return 0.0;
+        }
+        self.ns_sum as f64 * (self.count as f64 / self.sampled as f64)
+    }
+
+    /// Fold another accumulator into this one.
+    pub fn merge(&mut self, o: &PhaseStat) {
+        self.count += o.count;
+        self.sampled += o.sampled;
+        self.ns_sum += o.ns_sum;
+        self.ns_max = self.ns_max.max(o.ns_max);
+    }
+}
+
+/// Per-worker shard residency: where the worker's wall clock went while
+/// the sharded run was live. Mergeable (same shard id accumulates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Nanoseconds inside `rotate_below` (lane drains).
+    pub busy_ns: u64,
+    /// Nanoseconds spent in the spin/yield/park barrier wait.
+    pub wait_ns: u64,
+    /// Total wall residency of the worker loop (or, for shard 0, the
+    /// caller's window scope). `busy + wait ≤ loop` up to bookkeeping.
+    pub loop_ns: u64,
+    /// Barrier rounds participated in.
+    pub rounds: u64,
+}
+
+/// Residency below which [`ShardStat::attribution`] is undefined: a
+/// worker that never got the core (spawned, parked, woken only to
+/// observe shutdown) measures a lifetime of a few hundred ns, where the
+/// segment-boundary bookkeeping instructions themselves dominate the
+/// ratio. 100 µs keeps that bookkeeping under ~1 % of the denominator.
+pub const ATTRIBUTION_MIN_NS: u64 = 100_000;
+
+impl ShardStat {
+    /// Fraction of wall residency attributed to busy or wait (`None`
+    /// until the shard has at least [`ATTRIBUTION_MIN_NS`] residency —
+    /// below that the ratio is bookkeeping noise, not a measurement).
+    pub fn attribution(&self) -> Option<f64> {
+        if self.loop_ns < ATTRIBUTION_MIN_NS {
+            return None;
+        }
+        Some((self.busy_ns + self.wait_ns) as f64 / self.loop_ns as f64)
+    }
+
+    /// Accumulate another residency record for the same shard.
+    pub fn merge(&mut self, o: &ShardStat) {
+        self.busy_ns += o.busy_ns;
+        self.wait_ns += o.wait_ns;
+        self.loop_ns += o.loop_ns;
+        self.rounds += o.rounds;
+    }
+}
+
+/// One wall-clock span for the Chrome-trace export.
+#[derive(Debug, Clone, Copy)]
+struct SpanRec {
+    name: &'static str,
+    /// Start offset from the profiler epoch, ns.
+    start_ns: u64,
+    dur_ns: u64,
+    /// Span-specific payload (rotations for windows, bytes for
+    /// snapshots; 0 when unused).
+    arg: u64,
+}
+
+/// Live profiler state (boxed behind [`Profiler::On`]).
+#[derive(Debug, Clone)]
+pub struct ObsState {
+    epoch: Instant,
+    phases: [PhaseStat; Phase::COUNT],
+    /// Per-phase countdown to the next timed call.
+    countdown: [u32; Phase::COUNT],
+    windows: u64,
+    rotations: u64,
+    stales: u64,
+    fanout_taken: u64,
+    fanout_inline: u64,
+    /// Sim-time window widths, in ms ticks.
+    win_width_hist: LogHistogram,
+    /// Rotations per window, in count ticks.
+    win_rots_hist: LogHistogram,
+    shards: Vec<ShardStat>,
+    spans: Vec<SpanRec>,
+    spans_dropped: u64,
+    /// One-time structured notices raised while profiling (e.g. the
+    /// sharded→serial fallback).
+    notices: Vec<String>,
+}
+
+impl ObsState {
+    fn new() -> Self {
+        let mut countdown = [1u32; Phase::COUNT];
+        for p in Phase::ALL {
+            countdown[p.idx()] = 1; // time the first call of every phase
+        }
+        ObsState {
+            epoch: Instant::now(),
+            phases: [PhaseStat::default(); Phase::COUNT],
+            countdown,
+            windows: 0,
+            rotations: 0,
+            stales: 0,
+            fanout_taken: 0,
+            fanout_inline: 0,
+            win_width_hist: LogHistogram::new(),
+            win_rots_hist: LogHistogram::new(),
+            shards: Vec::new(),
+            spans: Vec::new(),
+            spans_dropped: 0,
+            notices: Vec::new(),
+        }
+    }
+
+    fn push_span(&mut self, name: &'static str, start: Instant, arg: u64) {
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.duration_since(self.epoch).as_nanos() as u64;
+        if self.spans.len() < SPAN_CAP {
+            self.spans.push(SpanRec {
+                name,
+                start_ns,
+                dur_ns,
+                arg,
+            });
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+}
+
+/// Token returned by [`Profiler::phase_start`]; hand it back to
+/// [`Profiler::phase_end`] when the scope closes. Zero-sized work when
+/// the profiler is off or the call was not stride-selected for timing.
+#[must_use = "phase tokens must be closed with phase_end"]
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseToken {
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+/// The host-side profiler: a zero-cost-when-off observer owned by the
+/// engine, mirroring `Tracer`'s `Off`/boxed-state shape.
+#[derive(Debug, Clone, Default)]
+pub enum Profiler {
+    /// No profiling; every probe is one predictable branch.
+    #[default]
+    Off,
+    /// Collecting (state boxed to keep the engine struct small).
+    On(Box<ObsState>),
+}
+
+impl Profiler {
+    /// A fresh, enabled profiler (epoch = now).
+    pub fn on() -> Profiler {
+        Profiler::On(Box::new(ObsState::new()))
+    }
+
+    /// Is the profiler collecting?
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Profiler::Off)
+    }
+
+    /// Open a phase scope. Always counts the entry; reads the clock
+    /// only on stride-selected calls (every call for cold phases).
+    #[inline(always)]
+    pub fn phase_start(&mut self, phase: Phase) -> PhaseToken {
+        let start = match self {
+            Profiler::Off => None,
+            Profiler::On(s) => {
+                let i = phase.idx();
+                s.phases[i].count += 1;
+                s.countdown[i] -= 1;
+                if s.countdown[i] == 0 {
+                    s.countdown[i] = phase.stride();
+                    Some(Instant::now())
+                } else {
+                    None
+                }
+            }
+        };
+        PhaseToken { phase, start }
+    }
+
+    /// Close a phase scope opened by [`Profiler::phase_start`].
+    #[inline(always)]
+    pub fn phase_end(&mut self, tok: PhaseToken) {
+        let Some(start) = tok.start else { return };
+        if let Profiler::On(s) = self {
+            let ns = start.elapsed().as_nanos() as u64;
+            let st = &mut s.phases[tok.phase.idx()];
+            st.sampled += 1;
+            st.ns_sum += ns;
+            st.ns_max = st.ns_max.max(ns);
+            if matches!(tok.phase, Phase::Snapshot | Phase::Restore) {
+                s.push_span(tok.phase.label(), start, 0);
+            }
+        }
+    }
+
+    /// Wall-clock anchor for a window span (`None` when off, so the
+    /// sharded loop pays nothing unprofiled).
+    #[inline]
+    pub fn clock(&self) -> Option<Instant> {
+        match self {
+            Profiler::Off => None,
+            Profiler::On(_) => Some(Instant::now()),
+        }
+    }
+
+    /// Record one completed sharded window: sim-time width, rotation
+    /// and stale-pop counts, and whether it fanned out to the pool.
+    pub fn window(
+        &mut self,
+        started: Option<Instant>,
+        width_ms: u64,
+        rots: u64,
+        stales: u64,
+        fanned_out: bool,
+    ) {
+        let Profiler::On(s) = self else { return };
+        s.windows += 1;
+        s.rotations += rots;
+        s.stales += stales;
+        if fanned_out {
+            s.fanout_taken += 1;
+        } else {
+            s.fanout_inline += 1;
+        }
+        s.win_width_hist.record_ticks(width_ms);
+        s.win_rots_hist.record_ticks(rots);
+        if let Some(t) = started {
+            s.push_span("window", t, rots);
+        }
+    }
+
+    /// Merge one worker's shard residency (same shard id accumulates
+    /// across successive sharded runs).
+    pub fn merge_shard(&mut self, shard: usize, stat: ShardStat) {
+        let Profiler::On(s) = self else { return };
+        if s.shards.len() <= shard {
+            s.shards.resize(shard + 1, ShardStat::default());
+        }
+        s.shards[shard].merge(&stat);
+    }
+
+    /// Attach a one-time structured notice to the profile (the caller
+    /// decides once-ness; see [`notice_once`] for the process-global
+    /// stderr side).
+    pub fn note(&mut self, msg: &str) {
+        if let Profiler::On(s) = self {
+            s.notices.push(msg.to_string());
+        }
+    }
+
+    /// Consume the profiler and produce the report (`None` when off).
+    pub fn finish(self) -> Option<ObsReport> {
+        match self {
+            Profiler::Off => None,
+            Profiler::On(s) => Some(ObsReport::from_state(&s)),
+        }
+    }
+
+    /// Snapshot the current report without stopping collection
+    /// (`None` when off). Used by the live `watch` stream.
+    pub fn report(&self) -> Option<ObsReport> {
+        match self {
+            Profiler::Off => None,
+            Profiler::On(s) => Some(ObsReport::from_state(s)),
+        }
+    }
+}
+
+/// One phase's row in the report.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Stable label ([`Phase::label`]).
+    pub label: &'static str,
+    /// Exact probe count.
+    pub count: u64,
+    /// Timed entries.
+    pub sampled: u64,
+    /// Summed timed duration, ns.
+    pub ns_sum: u64,
+    /// Largest timed entry, ns.
+    pub ns_max: u64,
+    /// Estimated total wall time, ns ([`PhaseStat::est_total_ns`]).
+    pub est_total_ns: f64,
+}
+
+/// One shard's row in the report.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (0 = the caller thread).
+    pub shard: usize,
+    /// Residency breakdown.
+    pub stat: ShardStat,
+}
+
+/// Aggregated profile, ready for export. Snapshot-able mid-run.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Wall time since the profiler was installed, ns.
+    pub wall_ns: u64,
+    /// Per-phase attribution (report order = [`Phase::ALL`]).
+    pub phases: Vec<PhaseReport>,
+    /// Sharded windows completed.
+    pub windows: u64,
+    /// Total live rotations inside windows.
+    pub rotations: u64,
+    /// Total stale tombstone pops inside windows.
+    pub stales: u64,
+    /// Windows that fanned out to the worker pool.
+    pub fanout_taken: u64,
+    /// Windows rotated inline on the caller (below the fan-out gate).
+    pub fanout_inline: u64,
+    /// Sim-time window widths (ms ticks).
+    pub win_width_hist: LogHistogram,
+    /// Rotations per window (count ticks).
+    pub win_rots_hist: LogHistogram,
+    /// Per-shard residency.
+    pub shards: Vec<ShardReport>,
+    /// One-time notices raised during collection.
+    pub notices: Vec<String>,
+    spans: Vec<SpanRec>,
+    spans_dropped: u64,
+}
+
+impl ObsReport {
+    fn from_state(s: &ObsState) -> ObsReport {
+        ObsReport {
+            wall_ns: s.epoch.elapsed().as_nanos() as u64,
+            phases: Phase::ALL
+                .iter()
+                .map(|p| {
+                    let st = &s.phases[p.idx()];
+                    PhaseReport {
+                        label: p.label(),
+                        count: st.count,
+                        sampled: st.sampled,
+                        ns_sum: st.ns_sum,
+                        ns_max: st.ns_max,
+                        est_total_ns: st.est_total_ns(),
+                    }
+                })
+                .collect(),
+            windows: s.windows,
+            rotations: s.rotations,
+            stales: s.stales,
+            fanout_taken: s.fanout_taken,
+            fanout_inline: s.fanout_inline,
+            win_width_hist: s.win_width_hist.clone(),
+            win_rots_hist: s.win_rots_hist.clone(),
+            shards: s
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.loop_ns > 0 || st.rounds > 0)
+                .map(|(shard, st)| ShardReport { shard, stat: *st })
+                .collect(),
+            notices: s.notices.clone(),
+            spans: s.spans.clone(),
+            spans_dropped: s.spans_dropped,
+        }
+    }
+
+    /// Total attributed phase time, ns.
+    pub fn attributed_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.est_total_ns).sum()
+    }
+
+    /// `(label, share-of-attributed-time)` rows, largest first.
+    pub fn phase_shares(&self) -> Vec<(&'static str, f64)> {
+        let total = self.attributed_ns();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut rows: Vec<_> = self
+            .phases
+            .iter()
+            .map(|p| (p.label, p.est_total_ns / total))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+
+    /// Busy-imbalance ratio across shards: max busy / mean busy
+    /// (`None` with fewer than two shards reporting busy time).
+    pub fn imbalance(&self) -> Option<f64> {
+        let busy: Vec<u64> = self.shards.iter().map(|s| s.stat.busy_ns).collect();
+        if busy.len() < 2 || busy.iter().all(|&b| b == 0) {
+            return None;
+        }
+        let max = *busy.iter().max().expect("nonempty") as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        Some(max / mean)
+    }
+
+    /// Minimum busy+wait attribution fraction over all shards
+    /// (`None` with no shard residency). The acceptance gate requires
+    /// this to stay ≥ 0.95 on sharded runs.
+    pub fn min_attribution(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.stat.attribution())
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Serialize to JSON with the standard build-info header.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.raw("build", &build_info_json());
+        o.int("wall_ns", self.wall_ns);
+        let mut phases = JsonArr::new();
+        for p in &self.phases {
+            let mut row = JsonObj::new();
+            row.str("phase", p.label);
+            row.int("count", p.count);
+            row.int("sampled", p.sampled);
+            row.int("ns_sum", p.ns_sum);
+            row.int("ns_max", p.ns_max);
+            row.num("est_total_ns", p.est_total_ns);
+            phases.raw(&row.finish());
+        }
+        o.raw("phases", &phases.finish());
+        o.num("attributed_ns", self.attributed_ns());
+        let mut sh = JsonObj::new();
+        sh.int("windows", self.windows);
+        sh.int("rotations", self.rotations);
+        sh.int("stales", self.stales);
+        sh.int("fanout_taken", self.fanout_taken);
+        sh.int("fanout_inline", self.fanout_inline);
+        sh.opt_num("window_width_ms_p50", self.win_width_hist.quantile(0.5));
+        sh.opt_num("window_width_ms_p99", self.win_width_hist.quantile(0.99));
+        sh.opt_num("rots_per_window_p50", self.win_rots_hist.quantile(0.5));
+        sh.opt_num("rots_per_window_p99", self.win_rots_hist.quantile(0.99));
+        sh.opt_num("imbalance_ratio", self.imbalance());
+        sh.opt_num("min_attribution", self.min_attribution());
+        let mut shards = JsonArr::new();
+        for s in &self.shards {
+            let mut row = JsonObj::new();
+            row.int("shard", s.shard as u64);
+            row.int("busy_ns", s.stat.busy_ns);
+            row.int("wait_ns", s.stat.wait_ns);
+            row.int("loop_ns", s.stat.loop_ns);
+            row.int("rounds", s.stat.rounds);
+            row.opt_num("attribution", s.stat.attribution());
+            shards.raw(&row.finish());
+        }
+        sh.raw("shards", &shards.finish());
+        o.raw("sharded", &sh.finish());
+        if !self.notices.is_empty() {
+            let mut n = JsonArr::new();
+            for msg in &self.notices {
+                n.str(msg);
+            }
+            o.raw("notices", &n.finish());
+        }
+        o.finish()
+    }
+
+    /// Append the profile to a Prometheus exposition, labelled by
+    /// `scheduler` when non-empty. Quantile histograms are exported
+    /// with full bucket detail via [`PromText::histogram`].
+    pub fn render_prom(&self, p: &mut PromText, scheduler: &str) {
+        let base: Vec<(&str, &str)> = if scheduler.is_empty() {
+            Vec::new()
+        } else {
+            vec![("scheduler", scheduler)]
+        };
+        p.counter(
+            "bds_obs_wall_seconds_total",
+            "Wall time since the profiler was installed",
+            &base,
+            self.wall_ns / 1_000_000_000,
+        );
+        for row in &self.phases {
+            let mut labels = base.clone();
+            labels.push(("phase", row.label));
+            p.counter(
+                "bds_obs_phase_calls_total",
+                "Exact probe entries per pump phase",
+                &labels,
+                row.count,
+            );
+            p.gauge(
+                "bds_obs_phase_est_seconds",
+                "Estimated total wall time per phase (stride-sampled)",
+                &labels,
+                row.est_total_ns / 1e9,
+            );
+        }
+        p.counter(
+            "bds_obs_windows_total",
+            "Sharded windows completed",
+            &base,
+            self.windows,
+        );
+        p.counter(
+            "bds_obs_rotations_total",
+            "Live lane rotations inside windows",
+            &base,
+            self.rotations,
+        );
+        p.counter(
+            "bds_obs_fanout_taken_total",
+            "Windows fanned out to the worker pool",
+            &base,
+            self.fanout_taken,
+        );
+        p.counter(
+            "bds_obs_fanout_inline_total",
+            "Windows rotated inline below the fan-out gate",
+            &base,
+            self.fanout_inline,
+        );
+        p.histogram(
+            "bds_obs_window_width_ms",
+            "Sim-time window width (ms) per sharded window",
+            &base,
+            &self.win_width_hist,
+        );
+        p.histogram(
+            "bds_obs_rots_per_window",
+            "Rotations per sharded window",
+            &base,
+            &self.win_rots_hist,
+        );
+        for s in &self.shards {
+            let shard = s.shard.to_string();
+            let mut labels = base.clone();
+            labels.push(("shard", &shard));
+            p.gauge(
+                "bds_obs_shard_busy_seconds",
+                "Worker time inside lane rotation",
+                &labels,
+                s.stat.busy_ns as f64 / 1e9,
+            );
+            p.gauge(
+                "bds_obs_shard_wait_seconds",
+                "Worker time in the barrier spin/yield/park wait",
+                &labels,
+                s.stat.wait_ns as f64 / 1e9,
+            );
+        }
+        if let Some(r) = self.imbalance() {
+            p.gauge(
+                "bds_obs_shard_imbalance_ratio",
+                "Max over mean per-shard busy time",
+                &base,
+                r,
+            );
+        }
+    }
+
+    /// Export the wall-clock span ring as a Chrome trace (host time,
+    /// complementing the sim-time exporter in `bds-trace`).
+    pub fn chrome_trace(&self) -> String {
+        let mut events = JsonArr::new();
+        let mut meta = JsonObj::new();
+        meta.str("name", "process_name");
+        meta.str("ph", "M");
+        meta.int("pid", 1);
+        meta.int("tid", 0);
+        let mut args = JsonObj::new();
+        args.str("name", "bds-obs wall clock");
+        meta.raw("args", &args.finish());
+        events.raw(&meta.finish());
+        for s in &self.spans {
+            let mut e = JsonObj::new();
+            e.str("name", s.name);
+            e.str("ph", "X");
+            e.int("pid", 1);
+            e.int("tid", 0);
+            e.num("ts", s.start_ns as f64 / 1e3);
+            e.num("dur", s.dur_ns as f64 / 1e3);
+            let mut args = JsonObj::new();
+            args.int("arg", s.arg);
+            e.raw("args", &args.finish());
+            events.raw(&e.finish());
+        }
+        let mut o = JsonObj::new();
+        o.raw("traceEvents", &events.finish());
+        o.str("displayTimeUnit", "ms");
+        o.raw("metadata", &build_info_json());
+        o.int("spans_dropped", self.spans_dropped);
+        o.finish()
+    }
+}
+
+/// Build/version header attached to every exported profile: package
+/// version, build profile, enabled features, and the host's thread
+/// budget — enough to attribute an artifact to a binary.
+pub fn build_info_json() -> String {
+    let mut o = JsonObj::new();
+    o.str("package", "batchsched");
+    o.str("version", env!("CARGO_PKG_VERSION"));
+    o.str(
+        "profile",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    // The workspace defines no cargo features; record that explicitly
+    // so the field stays meaningful if features appear later.
+    o.raw("features", "[]");
+    o.int(
+        "host_threads",
+        std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
+    );
+    o.finish()
+}
+
+/// Emit a structured one-line notice to stderr at most once per
+/// process per `kind`; returns whether this call was the first.
+/// Used for conditions that silently change behaviour (e.g. the
+/// sharded→serial fallback under an active tracer).
+pub fn notice_once(kind: &str, detail: &str) -> bool {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let first = seen
+        .lock()
+        .expect("notice set poisoned")
+        .insert(kind.to_string());
+    if first {
+        let mut o = JsonObj::new();
+        o.str("obs_notice", kind);
+        o.str("detail", detail);
+        eprintln!("{}", o.finish());
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_metrics::jsonv::{parse, JsonValue};
+
+    #[test]
+    fn off_profiler_produces_nothing() {
+        let mut p = Profiler::Off;
+        assert!(!p.enabled());
+        let tok = p.phase_start(Phase::SchedulerDecide);
+        p.phase_end(tok);
+        assert!(p.clock().is_none());
+        p.window(None, 10, 5, 0, true);
+        p.merge_shard(3, ShardStat::default());
+        assert!(p.report().is_none());
+        assert!(p.finish().is_none());
+    }
+
+    #[test]
+    fn counts_are_exact_and_sampling_is_strided() {
+        let mut p = Profiler::on();
+        for _ in 0..1000 {
+            let tok = p.phase_start(Phase::EventQueue);
+            p.phase_end(tok);
+        }
+        let r = p.finish().expect("on profiler reports");
+        let row = &r.phases[Phase::EventQueue.idx()];
+        assert_eq!(row.count, 1000);
+        // First call timed, then every STRIDE_HOT-th.
+        let want = 1 + (1000 - 1) / STRIDE_HOT as u64;
+        assert_eq!(row.sampled, want);
+        assert!(row.est_total_ns >= row.ns_sum as f64);
+    }
+
+    #[test]
+    fn cold_phases_time_every_call() {
+        let mut p = Profiler::on();
+        for _ in 0..5 {
+            let tok = p.phase_start(Phase::Snapshot);
+            p.phase_end(tok);
+        }
+        let r = p.report().expect("on profiler reports");
+        let row = &r.phases[Phase::Snapshot.idx()];
+        assert_eq!((row.count, row.sampled), (5, 5));
+        // Snapshot scopes also land in the chrome span ring.
+        assert!(r.chrome_trace().contains("\"name\":\"snapshot\""));
+    }
+
+    #[test]
+    fn shard_merge_and_derived_ratios() {
+        let mut p = Profiler::on();
+        p.merge_shard(
+            0,
+            ShardStat {
+                busy_ns: 900_000,
+                wait_ns: 80_000,
+                loop_ns: 1_000_000,
+                rounds: 4,
+            },
+        );
+        p.merge_shard(
+            1,
+            ShardStat {
+                busy_ns: 300_000,
+                wait_ns: 680_000,
+                loop_ns: 1_000_000,
+                rounds: 4,
+            },
+        );
+        // Second run on shard 1 accumulates.
+        p.merge_shard(
+            1,
+            ShardStat {
+                busy_ns: 300_000,
+                wait_ns: 680_000,
+                loop_ns: 1_000_000,
+                rounds: 4,
+            },
+        );
+        p.window(p.clock(), 50, 7, 1, true);
+        p.window(p.clock(), 20, 3, 0, false);
+        let r = p.finish().expect("report");
+        assert_eq!(r.windows, 2);
+        assert_eq!(r.rotations, 10);
+        assert_eq!((r.fanout_taken, r.fanout_inline), (1, 1));
+        assert_eq!(r.shards.len(), 2);
+        assert_eq!(r.shards[1].stat.rounds, 8);
+        // busy: [900, 600] µs → max 900 / mean 750.
+        let imb = r.imbalance().expect("two shards");
+        assert!((imb - 900.0 / 750.0).abs() < 1e-9);
+        let att = r.min_attribution().expect("residency present");
+        assert!((att - 0.98).abs() < 1e-9, "got {att}");
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_build_header() {
+        let mut p = Profiler::on();
+        let tok = p.phase_start(Phase::CnWork);
+        p.phase_end(tok);
+        p.note("test notice");
+        let r = p.finish().expect("report");
+        let v = parse(&r.to_json()).expect("valid json");
+        let build = v.get("build").expect("build header");
+        assert_eq!(
+            build.get("version").and_then(JsonValue::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(build.get("host_threads").is_some());
+        let phases = v.get("phases").and_then(JsonValue::as_arr).expect("phases");
+        assert_eq!(phases.len(), Phase::COUNT);
+        let notices = v
+            .get("notices")
+            .and_then(JsonValue::as_arr)
+            .expect("notices");
+        assert_eq!(notices.len(), 1);
+    }
+
+    #[test]
+    fn prom_export_has_phase_and_shard_series() {
+        let mut p = Profiler::on();
+        let tok = p.phase_start(Phase::SchedulerDecide);
+        p.phase_end(tok);
+        p.merge_shard(
+            0,
+            ShardStat {
+                busy_ns: 10,
+                wait_ns: 5,
+                loop_ns: 20,
+                rounds: 1,
+            },
+        );
+        let r = p.finish().expect("report");
+        let mut t = PromText::new();
+        r.render_prom(&mut t, "GOW");
+        let body = t.finish();
+        assert!(body.contains("bds_obs_phase_calls_total"));
+        assert!(body.contains("phase=\"scheduler_decide\""));
+        assert!(body.contains("scheduler=\"GOW\""));
+        assert!(body.contains("bds_obs_shard_busy_seconds"));
+        // The multi-phase / multi-shard families must still be a valid
+        // exposition document (one TYPE header, no duplicate series).
+        bds_metrics::check_exposition(&body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+    }
+
+    #[test]
+    fn notice_once_is_once_per_kind() {
+        assert!(notice_once("obs-unit-test-kind", "first"));
+        assert!(!notice_once("obs-unit-test-kind", "second"));
+        assert!(notice_once("obs-unit-test-other", "first"));
+    }
+}
