@@ -542,6 +542,81 @@ pub fn table5(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
     t
 }
 
+/// Fig. 8 extended — the Fig. 8 arrival-rate sweep rerun over
+/// [`SchedulerKind::EXTENDED_SET`], adding the batch/epoch family
+/// (DGCC, BROOK) next to the paper's six. Legacy columns reuse the
+/// same point cache as `fig8`, so running both costs only the two
+/// new schedulers' cells.
+pub fn fig8x(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let lambdas = [0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4];
+    let mut header = vec!["lambda(TPS)".to_string()];
+    header.extend(SchedulerKind::EXTENDED_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Fig.8x: Exp.1 Arrival Rate vs Response Time (s), DD=1, NumFiles=16, +DGCC/BROOK"
+            .into(),
+        header,
+        rows: Vec::new(),
+    };
+    let cells: Vec<SimConfig> = lambdas
+        .iter()
+        .flat_map(|&l| {
+            SchedulerKind::EXTENDED_SET.iter().map(move |&kind| {
+                opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
+                    .with_lambda(l)
+            })
+        })
+        .collect();
+    let reports = ctx.map(&cells, |_, cfg| ctx.run_point(cfg));
+    for (i, &l) in lambdas.iter().enumerate() {
+        let mut row = vec![f2(l)];
+        for j in 0..SchedulerKind::EXTENDED_SET.len() {
+            row.push(f1(
+                reports[i * SchedulerKind::EXTENDED_SET.len() + j].mean_rt_secs()
+            ));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig. 10 extended — declustering speedup `RT(DD=1)/RT(DD=k)` at
+/// λ = 1.2 TPS over [`SchedulerKind::EXTENDED_SET`]. Unlike `fig10`
+/// this skips the C2PL+M best-mpl column: the point is the
+/// batch/epoch family's parallelism response, not mpl tuning.
+pub fn fig10x(opts: &ExpOptions, ctx: &ExecCtx) -> Table {
+    let dds = [1u32, 2, 4, 8];
+    let mut header = vec!["DD".to_string()];
+    header.extend(SchedulerKind::EXTENDED_SET.iter().map(|k| k.label()));
+    let mut t = Table {
+        title: "Fig.10x: Exp.1 Declustering vs Resp.Time Speedup, λ=1.2 TPS, +DGCC/BROOK".into(),
+        header,
+        rows: Vec::new(),
+    };
+    let heavy = |kind: SchedulerKind, dd: u32| {
+        opts.base(kind, WorkloadKind::Exp1 { num_files: 16 })
+            .with_lambda(1.2)
+            .with_dd(dd)
+    };
+    let mut cells: Vec<SimConfig> = Vec::new();
+    for &dd in &dds {
+        for &kind in &SchedulerKind::EXTENDED_SET {
+            cells.push(heavy(kind, dd));
+        }
+    }
+    let rts = ctx.map(&cells, |_, cfg| ctx.run_point(cfg).mean_rt_secs());
+    let w = SchedulerKind::EXTENDED_SET.len();
+    for (i, dd) in dds.iter().enumerate() {
+        let mut row = vec![dd.to_string()];
+        for j in 0..w {
+            let rt = rts[i * w + j];
+            let speedup = if rt > 0.0 { rts[j] / rt } else { f64::NAN };
+            row.push(f2(speedup));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
 /// A rendered artifact with its identifier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Artifact {
@@ -551,9 +626,13 @@ pub struct Artifact {
     pub table: Table,
 }
 
-/// All artifact ids, in paper order.
-pub const ARTIFACT_IDS: [&str; 10] = [
+/// All artifact ids: the paper's ten in paper order, then the
+/// extended-set companions (`fig8x`, `fig10x`) that add the
+/// batch/epoch schedulers. The first ten stay index-stable so the
+/// golden-hash tables keyed by position keep working unchanged.
+pub const ARTIFACT_IDS: [&str; 12] = [
     "fig8", "table2", "fig9", "table3", "fig10", "fig11", "table4", "fig12", "fig13", "table5",
+    "fig8x", "fig10x",
 ];
 
 /// Regenerate one artifact by id with a caller-provided execution
@@ -575,6 +654,8 @@ pub fn run_artifact_with(id: &str, opts: &ExpOptions, ctx: &ExecCtx) -> Artifact
         "fig12" => fig12(opts, ctx),
         "fig13" => fig13(opts, ctx),
         "table5" => table5(opts, ctx),
+        "fig8x" => fig8x(opts, ctx),
+        "fig10x" => fig10x(opts, ctx),
         other => panic!("unknown artifact id '{other}' (valid: {ARTIFACT_IDS:?})"),
     };
     Artifact {
@@ -617,6 +698,27 @@ mod tests {
         let t = fig8(&opts, &ExecCtx::new(opts.jobs));
         assert_eq!(t.rows.len(), 8);
         assert_eq!(t.header.len(), 7);
+    }
+
+    /// The extended artifacts carry all eight schedulers and share
+    /// lambda/DD structure with their paper counterparts.
+    #[test]
+    fn extended_artifacts_smoke() {
+        let mut opts = ExpOptions::quick();
+        opts.horizon = Duration::from_secs(120);
+        let ctx = ExecCtx::new(opts.jobs);
+        let t8 = fig8x(&opts, &ctx);
+        assert_eq!(t8.rows.len(), 8);
+        assert_eq!(t8.header.len(), 1 + SchedulerKind::EXTENDED_SET.len());
+        assert!(t8.header.iter().any(|h| h == "DGCC"));
+        assert!(t8.header.iter().any(|h| h == "BROOK"));
+        let t10 = fig10x(&opts, &ctx);
+        assert_eq!(t10.rows.len(), 4);
+        assert_eq!(t10.header.len(), 1 + SchedulerKind::EXTENDED_SET.len());
+        // DD=1 row is the speedup baseline: every column is exactly 1.
+        for cell in &t10.rows[0][1..] {
+            assert_eq!(cell, "1.00");
+        }
     }
 
     #[test]

@@ -130,6 +130,8 @@ fn parse_kind(s: &str) -> Result<SchedulerKind, String> {
         "c2pl" => SchedulerKind::C2pl,
         "opt" => SchedulerKind::Opt,
         "wdl" => SchedulerKind::Wdl,
+        "dgcc" => SchedulerKind::Dgcc,
+        "brook" => SchedulerKind::Brook,
         "low" => SchedulerKind::Low(2),
         other => {
             if let Some(k) = other.strip_prefix("low:").or(other.strip_prefix("low(")) {

@@ -342,6 +342,8 @@ fn enc_kind(k: SchedulerKind) -> String {
         SchedulerKind::Opt => "opt".to_string(),
         SchedulerKind::Gow => "gow".to_string(),
         SchedulerKind::Wdl => "wdl".to_string(),
+        SchedulerKind::Dgcc => "dgcc".to_string(),
+        SchedulerKind::Brook => "brook".to_string(),
         SchedulerKind::Low(k) => format!("low:{k}"),
     }
 }
@@ -590,6 +592,8 @@ fn dec_kind(s: &str) -> Result<SchedulerKind, String> {
         "opt" => SchedulerKind::Opt,
         "gow" => SchedulerKind::Gow,
         "wdl" => SchedulerKind::Wdl,
+        "dgcc" => SchedulerKind::Dgcc,
+        "brook" => SchedulerKind::Brook,
         other => match other.strip_prefix("low:") {
             Some(k) => SchedulerKind::Low(k.parse().map_err(|e| format!("bad LOW K '{k}': {e}"))?),
             None => return Err(format!("unknown scheduler kind '{other}'")),

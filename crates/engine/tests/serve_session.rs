@@ -257,6 +257,51 @@ fn restored_session_finishes_identically() {
 }
 
 #[test]
+fn batch_epoch_schedulers_serve_end_to_end() {
+    // The batch/epoch family (DGCC, BROOK) drives through the full
+    // session surface: configure, run, hot-swap between the two, and a
+    // snapshot/restore round trip that preserves the kind on the wire.
+    let dir = std::env::temp_dir();
+    let ckpt = dir.join(format!("bds-serve-dgcc-{}.json", std::process::id()));
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+
+    let mut s = Serve::spawn();
+    let r =
+        s.send(r#"{"cmd":"configure","scheduler":"dgcc","lambda":0.6,"horizon_s":300,"seed":13}"#);
+    assert_eq!(r.get("scheduler").and_then(JsonValue::as_str), Some("DGCC"));
+    s.send(r#"{"cmd":"run-until","t_ms":60000}"#);
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+
+    s.send(&format!(r#"{{"cmd":"snapshot","path":"{ckpt_str}"}}"#));
+    let r = s.send(r#"{"cmd":"swap-scheduler","scheduler":"brook"}"#);
+    assert_eq!(
+        r.get("scheduler").and_then(JsonValue::as_str),
+        Some("BROOK")
+    );
+    s.send(r#"{"cmd":"run-until","t_ms":150000}"#);
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+    // Brook never aborts of its own accord, served or not.
+    let r = s.send(r#"{"cmd":"report"}"#);
+    let report = r.get("report").expect("report object");
+    assert_eq!(num(report, "aborts_scheduler"), 0);
+
+    // Restore rewinds to the DGCC checkpoint: the kind round-trips.
+    let r = s.send(&format!(r#"{{"cmd":"restore","path":"{ckpt_str}"}}"#));
+    assert_eq!(r.get("scheduler").and_then(JsonValue::as_str), Some("DGCC"));
+    s.send(r#"{"cmd":"run"}"#);
+    let r = s.send(r#"{"cmd":"report"}"#);
+    let report = r.get("report").expect("report object");
+    assert!(num(report, "completed") > 0);
+    let status = s.send(r#"{"cmd":"status"}"#);
+    check_conserved(&status);
+
+    s.quit();
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
 fn sharded_session_matches_serial() {
     // The `shards` knob changes wall-clock strategy only: a session run
     // with worker shards must produce byte-identical reports — and keep

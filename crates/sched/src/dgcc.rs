@@ -1,0 +1,421 @@
+//! DGCC — dependency-graph batched concurrency control (arXiv
+//! 1503.03642, adapted to the paper's declared-lock-set model).
+//!
+//! Instead of deciding lock-by-lock, DGCC collects an **admission
+//! window** of waiting transactions, builds the conflict graph over
+//! their declared lock sets, and greedy-colors it into **batches** of
+//! mutually non-conflicting transactions. Batches are released
+//! epoch-by-epoch: every member of the current batch is admitted with
+//! its whole lock set (conflict-free by construction, so no member ever
+//! blocks), and the next batch opens only when the current one has fully
+//! drained. A new window is sealed from the wait pool once the previous
+//! window's last batch finishes.
+//!
+//! The coloring work is charged to the control node once per window
+//! (`ddtime` per windowed transaction), on the `try_start` that seals
+//! it; all per-step lock requests are then free grants, which is the
+//! protocol's whole selling point.
+//!
+//! Aborted members (fault kills, external restarts) drop back into the
+//! wait pool and are re-colored into a later window.
+
+use crate::lock_table::LockTable;
+use crate::{Outcome, ReqDecision, SchedTelemetry, Scheduler, StartDecision};
+use bds_des::time::Duration;
+use bds_workload::{conflict, BatchSpec, FileId};
+use bds_wtpg::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum transactions colored into one window. Bounds the O(n²)
+/// conflict-graph construction under a saturated start queue; overflow
+/// simply waits for the next window (FIFO by id, so no starvation).
+pub const WINDOW_CAP: usize = 64;
+
+/// The DGCC scheduler.
+#[derive(Debug, Default)]
+pub struct Dgcc {
+    /// Per-transaction CPU charge for the window coloring (`ddtime`).
+    color_time: Duration,
+    specs: BTreeMap<TxnId, BatchSpec>,
+    /// Registered transactions waiting for the next window (ascending
+    /// id = arrival order).
+    waiting: BTreeSet<TxnId>,
+    /// Open window: batch (color) index per still-unfinished member.
+    epoch_of: BTreeMap<TxnId, usize>,
+    /// Unfinished members per batch of the open window.
+    remaining: Vec<usize>,
+    /// Index of the batch currently being released; `== remaining.len()`
+    /// means the window is exhausted.
+    cur: usize,
+    live: BTreeSet<TxnId>,
+    table: LockTable,
+    constraints: Vec<(TxnId, TxnId)>,
+    /// Admission-order grantees per file, for the serializability audit
+    /// (same recording rule as ASL: admission grants are atomic).
+    grant_log: BTreeMap<FileId, Vec<TxnId>>,
+}
+
+impl Dgcc {
+    /// Create with the per-transaction coloring CPU cost (`ddtime`).
+    pub fn new(color_time: Duration) -> Self {
+        Dgcc {
+            color_time,
+            ..Dgcc::default()
+        }
+    }
+
+    /// Seal a new window from the wait pool: greedy-color the conflict
+    /// graph over declared lock sets into mutually non-conflicting
+    /// batches. Returns the number of transactions colored.
+    fn seal_window(&mut self) -> usize {
+        debug_assert!(self.epoch_of.is_empty(), "window sealed while one is open");
+        debug_assert!(self.live.is_empty(), "window sealed with live members");
+        let ids: Vec<TxnId> = self.waiting.iter().take(WINDOW_CAP).copied().collect();
+        let mut batches: Vec<Vec<TxnId>> = Vec::new();
+        for &id in &ids {
+            self.waiting.remove(&id);
+            let spec = &self.specs[&id];
+            let slot = batches.iter().position(|batch| {
+                batch
+                    .iter()
+                    .all(|&other| !conflict::conflicts(spec, &self.specs[&other]))
+            });
+            match slot {
+                Some(b) => {
+                    batches[b].push(id);
+                    self.epoch_of.insert(id, b);
+                }
+                None => {
+                    self.epoch_of.insert(id, batches.len());
+                    batches.push(vec![id]);
+                }
+            }
+        }
+        self.remaining = batches.iter().map(Vec::len).collect();
+        self.cur = 0;
+        ids.len()
+    }
+
+    /// A window member finished (commit, abort or kill): retire it from
+    /// its batch and advance the release pointer past drained batches.
+    fn finish_window_member(&mut self, id: TxnId) {
+        if let Some(batch) = self.epoch_of.remove(&id) {
+            self.remaining[batch] -= 1;
+            while self.cur < self.remaining.len() && self.remaining[self.cur] == 0 {
+                self.cur += 1;
+            }
+        }
+    }
+
+    fn drop_grant_log_rows(&mut self, id: TxnId) {
+        for log in self.grant_log.values_mut() {
+            log.retain(|&t| t != id);
+        }
+    }
+}
+
+impl Scheduler for Dgcc {
+    fn name(&self) -> &'static str {
+        "DGCC"
+    }
+
+    fn register(&mut self, id: TxnId, spec: BatchSpec) {
+        let prev = self.specs.insert(id, spec);
+        assert!(prev.is_none(), "duplicate registration of {id:?}");
+        self.waiting.insert(id);
+    }
+
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
+        // Window exhausted (or none yet): seal the next one and charge
+        // the coloring pass once, on this outcome.
+        let mut seal_cost = Duration::ZERO;
+        if self.cur >= self.remaining.len() && !self.waiting.is_empty() {
+            let n = self.seal_window();
+            seal_cost = Duration::from_secs_f64(self.color_time.as_secs_f64() * n as f64);
+        }
+        let decide = |d: StartDecision| {
+            if seal_cost.is_zero() {
+                Outcome::free(d)
+            } else {
+                Outcome::costed(d, seal_cost)
+            }
+        };
+        match self.epoch_of.get(&id) {
+            Some(&batch) if batch == self.cur => {
+                // Current batch: admit with the whole lock set. Members
+                // are pairwise non-conflicting, so every grant succeeds.
+                let spec = &self.specs[&id];
+                for (file, mode) in spec.lock_set() {
+                    assert!(
+                        self.table.can_grant(id, file, mode),
+                        "DGCC batch member {id:?} conflicts inside its own batch"
+                    );
+                    self.table.grant(id, file, mode);
+                    if let Some(log) = self.grant_log.get(&file) {
+                        for &earlier in log {
+                            if self.live.contains(&earlier) {
+                                self.constraints.push((earlier, id));
+                            }
+                        }
+                    }
+                    self.grant_log.entry(file).or_default().push(id);
+                }
+                self.live.insert(id);
+                decide(StartDecision::Admit)
+            }
+            Some(_) => decide(StartDecision::Refuse).because("later-epoch"),
+            None => decide(StartDecision::Refuse).because("next-window"),
+        }
+    }
+
+    fn request(&mut self, id: TxnId, step: usize) -> Outcome<ReqDecision> {
+        let s = &self.specs[&id].steps[step];
+        assert!(
+            self.table.holds_sufficient(id, s.file, s.mode),
+            "DGCC transaction {id:?} executed without its batch-time lock"
+        );
+        Outcome::free(ReqDecision::Granted)
+    }
+
+    fn step_complete(&mut self, _id: TxnId, _step: usize) {}
+
+    fn validate(&mut self, _id: TxnId) -> Outcome<bool> {
+        Outcome::free(true)
+    }
+
+    fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.commit_into(id, &mut out);
+        out
+    }
+
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        let mut out = Vec::new();
+        self.abort_into(id, &mut out);
+        out
+    }
+
+    fn commit_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.live.remove(&id);
+        self.specs.remove(&id);
+        self.waiting.remove(&id);
+        self.drop_grant_log_rows(id);
+        self.finish_window_member(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn abort_into(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.live.remove(&id);
+        // The aborted attempt's undrained audit edges are void; the
+        // restarted attempt will be re-colored into a later window.
+        self.constraints.retain(|&(a, b)| a != id && b != id);
+        self.drop_grant_log_rows(id);
+        self.finish_window_member(id);
+        self.waiting.insert(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn forget(&mut self, id: TxnId, released: &mut Vec<FileId>) {
+        self.live.remove(&id);
+        self.specs.remove(&id);
+        self.waiting.remove(&id);
+        self.constraints.retain(|&(a, b)| a != id && b != id);
+        self.drop_grant_log_rows(id);
+        self.finish_window_member(id);
+        self.table.release_all_into(id, released);
+    }
+
+    fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn drain_constraints(&mut self) -> Vec<(TxnId, TxnId)> {
+        std::mem::take(&mut self.constraints)
+    }
+
+    fn telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry {
+            locks_held: self.table.total_locks(),
+            ..SchedTelemetry::default()
+        }
+    }
+
+    fn audit_invariant(&self) -> Option<Result<(), String>> {
+        // Structural batch invariant: every live transaction belongs to
+        // the batch currently being released, and the batch is pairwise
+        // conflict-free.
+        let live: Vec<TxnId> = self.live.iter().copied().collect();
+        for &id in &live {
+            match self.epoch_of.get(&id) {
+                Some(&b) if b == self.cur => {}
+                Some(&b) => {
+                    return Some(Err(format!(
+                        "live {id:?} is in batch {b}, not the released batch {}",
+                        self.cur
+                    )))
+                }
+                None => return Some(Err(format!("live {id:?} is outside the open window"))),
+            }
+        }
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if conflict::conflicts(&self.specs[&a], &self.specs[&b]) {
+                    return Some(Err(format!(
+                        "batch {} members {a:?} and {b:?} conflict",
+                        self.cur
+                    )));
+                }
+            }
+        }
+        Some(Ok(()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_workload::spec::Step;
+    use bds_workload::LockMode;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+    fn w(file: FileId, cost: f64) -> Step {
+        Step::write(file, cost)
+    }
+    fn dgcc() -> Dgcc {
+        Dgcc::new(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn window_colors_conflicting_txns_into_separate_batches() {
+        let mut s = dgcc();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)])); // conflicts with t1
+        s.register(t(3), BatchSpec::new(vec![w(f(1), 1.0)])); // disjoint
+
+        // First try_start seals the window and charges 3 × ddtime.
+        let o = s.try_start(t(1));
+        assert_eq!(o.decision, StartDecision::Admit);
+        assert_eq!(o.cpu, Duration::from_millis(3));
+        // t2 conflicts with t1: later batch. t3 is conflict-free: same
+        // batch as t1, admitted for free.
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Refuse);
+        let o3 = s.try_start(t(3));
+        assert_eq!(o3.decision, StartDecision::Admit);
+        assert!(o3.cpu.is_zero());
+        assert_eq!(s.live_count(), 2);
+        assert_eq!(s.audit_invariant(), Some(Ok(())));
+        // Batch 0 must fully drain before t2's batch opens.
+        s.commit(t(1));
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Refuse);
+        s.commit(t(3));
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+    }
+
+    #[test]
+    fn batch_members_never_block_on_requests() {
+        let mut s = dgcc();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0), w(f(1), 1.0)]));
+        s.try_start(t(1));
+        assert_eq!(s.request(t(1), 0).decision, ReqDecision::Granted);
+        assert_eq!(s.request(t(1), 1).decision, ReqDecision::Granted);
+    }
+
+    #[test]
+    fn late_arrival_waits_for_the_next_window() {
+        let mut s = dgcc();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);
+        // t2 arrives after the window sealed: refused until it drains.
+        s.register(t(2), BatchSpec::new(vec![w(f(5), 1.0)]));
+        let o = s.try_start(t(2));
+        assert_eq!(o.decision, StartDecision::Refuse);
+        assert_eq!(o.reason, Some("next-window"));
+        s.commit(t(1));
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+    }
+
+    #[test]
+    fn aborted_member_is_recolored_into_a_later_window() {
+        let mut s = dgcc();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(1), 1.0)]));
+        s.try_start(t(1));
+        s.try_start(t(2));
+        let released = s.abort(t(1));
+        assert_eq!(released, vec![f(0)]);
+        // t1 is back in the pool; the open window still has t2 in flight.
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Refuse);
+        s.commit(t(2));
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);
+    }
+
+    #[test]
+    fn forget_leaves_no_state_behind() {
+        let mut s = dgcc();
+        s.register(t(1), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.register(t(2), BatchSpec::new(vec![w(f(0), 1.0)]));
+        s.try_start(t(1));
+        let mut rel = Vec::new();
+        s.forget(t(1), &mut rel);
+        assert_eq!(rel, vec![f(0)]);
+        assert_eq!(s.live_count(), 0);
+        assert_eq!(s.telemetry().locks_held, 0);
+        // t2 (batch 1 of the sealed window) opens once t1 is gone.
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+        s.commit(t(2));
+        assert!(s.specs.is_empty());
+        assert!(s.epoch_of.is_empty());
+        assert!(s.waiting.is_empty());
+    }
+
+    #[test]
+    fn shared_readers_share_a_batch() {
+        let mut s = dgcc();
+        let read = |file| BatchSpec::new(vec![Step::read(file, LockMode::Shared, 2.0)]);
+        s.register(t(1), read(f(0)));
+        s.register(t(2), read(f(0)));
+        assert_eq!(s.try_start(t(1)).decision, StartDecision::Admit);
+        assert_eq!(s.try_start(t(2)).decision, StartDecision::Admit);
+        assert_eq!(s.audit_invariant(), Some(Ok(())));
+    }
+
+    #[test]
+    fn constraints_are_acyclic_over_batched_commits() {
+        let mut s = dgcc();
+        for i in 1..=4 {
+            s.register(t(i), BatchSpec::new(vec![w(f(0), 1.0)]));
+        }
+        // All four conflict: one singleton batch each, released in order.
+        let mut committed = 0;
+        while committed < 4 {
+            for i in 1..=4 {
+                let queued = !s.live.contains(&t(i)) && s.specs.contains_key(&t(i));
+                if queued && s.try_start(t(i)).decision == StartDecision::Admit {
+                    s.commit(t(i));
+                    committed += 1;
+                }
+            }
+        }
+        let cs = s.drain_constraints();
+        assert!(bds_wtpg::oracle::is_serializable(&cs), "{cs:?}");
+    }
+
+    #[test]
+    fn window_cap_bounds_the_coloring_pass() {
+        let mut s = dgcc();
+        for i in 0..(WINDOW_CAP as u64 + 10) {
+            s.register(t(i + 1), BatchSpec::new(vec![w(f(i as u32), 1.0)]));
+        }
+        let o = s.try_start(t(1));
+        assert_eq!(o.decision, StartDecision::Admit);
+        assert_eq!(o.cpu, Duration::from_millis(WINDOW_CAP as u64));
+        // The overflow transaction is outside this window.
+        let o = s.try_start(t(WINDOW_CAP as u64 + 5));
+        assert_eq!(o.reason, Some("next-window"));
+    }
+}

@@ -15,6 +15,14 @@
 //! (`C2PL+M` is C2PL run under a finite multiprogramming level; the
 //! throttle lives in the simulator, not here.)
 //!
+//! Post-1991 extensions behind the same trait:
+//!
+//! | Scheduler | Module | Strategy |
+//! |-----------|--------|----------|
+//! | WDL   | [`wdl`]   | wait-depth-limited locking (restart-based) |
+//! | DGCC  | [`dgcc`]  | window batching via conflict-graph coloring |
+//! | BROOK | [`brook`] | deadlock-free 2PL via total lock ordering |
+//!
 //! Every scheduler decision reports the control-node CPU time it costs
 //! (Table 1: `ddtime`, `kwtpgtime`, `chaintime`, `toptime`), which the
 //! simulator serializes through the CN's FCFS CPU.
@@ -23,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod asl;
+pub mod brook;
 pub mod c2pl;
+pub mod dgcc;
 pub mod gow;
 pub mod lock_table;
 pub mod low;
@@ -202,6 +212,18 @@ pub trait Scheduler: Send {
     fn telemetry(&self) -> SchedTelemetry {
         SchedTelemetry::default()
     }
+
+    /// Structural self-audit of an invariant the scheduler claims *by
+    /// construction* — e.g. Brook-2PL's ascending-prefix lock discipline
+    /// (the source of its deadlock-freedom) or DGCC's conflict-free
+    /// batches. Returns `Some(Ok(()))` when the invariant holds,
+    /// `Some(Err(description))` when it is violated, and `None` for
+    /// schedulers that assert nothing structurally. The conformance
+    /// harness probes this at quiescent points; implementations may walk
+    /// their state (never called on the per-event hot path).
+    fn audit_invariant(&self) -> Option<Result<(), String>> {
+        None
+    }
 }
 
 /// Which scheduler to run — the paper's six (C2PL+M is C2PL plus a
@@ -225,6 +247,13 @@ pub enum SchedulerKind {
     /// requester otherwise — bounds blocking chains to depth 1 at the
     /// price of rollbacks.
     Wdl,
+    /// DGCC-style dependency-graph batcher (arXiv 1503.03642): color the
+    /// conflict graph of an admission window into non-conflicting
+    /// batches, released epoch-by-epoch.
+    Dgcc,
+    /// Brook-2PL (arXiv 2508.18576): deadlock-free 2PL acquiring locks
+    /// in one global total order (ascending file id).
+    Brook,
 }
 
 impl SchedulerKind {
@@ -238,6 +267,35 @@ impl SchedulerKind {
         SchedulerKind::Opt,
     ];
 
+    /// The paper's six plus the post-1991 batch/epoch family (DGCC and
+    /// Brook-2PL) — the set the differential fuzzer cross-checks on one
+    /// workload + fault plan. `PAPER_SET` stays frozen (the golden
+    /// artifact hashes derive from it); extended surfaces use this.
+    pub const EXTENDED_SET: [SchedulerKind; 8] = [
+        SchedulerKind::Nodc,
+        SchedulerKind::Asl,
+        SchedulerKind::Gow,
+        SchedulerKind::Low(2),
+        SchedulerKind::C2pl,
+        SchedulerKind::Opt,
+        SchedulerKind::Dgcc,
+        SchedulerKind::Brook,
+    ];
+
+    /// Every scheduler kind the conformance suite must cover: the
+    /// extended set plus the WDL extension.
+    pub const ALL: [SchedulerKind; 9] = [
+        SchedulerKind::Nodc,
+        SchedulerKind::Asl,
+        SchedulerKind::Gow,
+        SchedulerKind::Low(2),
+        SchedulerKind::C2pl,
+        SchedulerKind::Opt,
+        SchedulerKind::Wdl,
+        SchedulerKind::Dgcc,
+        SchedulerKind::Brook,
+    ];
+
     /// Instantiate the scheduler with the given cost book.
     pub fn build(self, costs: &CostBook) -> Box<dyn Scheduler> {
         match self {
@@ -248,6 +306,8 @@ impl SchedulerKind {
             SchedulerKind::Gow => Box::new(gow::Gow::new(costs.chain_time, costs.top_time)),
             SchedulerKind::Low(k) => Box::new(low::Low::new(k, costs.kwtpg_time)),
             SchedulerKind::Wdl => Box::new(wdl::Wdl::new(costs.dd_time)),
+            SchedulerKind::Dgcc => Box::new(dgcc::Dgcc::new(costs.dd_time)),
+            SchedulerKind::Brook => Box::new(brook::Brook::new(costs.dd_time)),
         }
     }
 
@@ -262,6 +322,8 @@ impl SchedulerKind {
             SchedulerKind::Low(2) => "LOW".into(),
             SchedulerKind::Low(k) => format!("LOW(K={k})"),
             SchedulerKind::Wdl => "WDL".into(),
+            SchedulerKind::Dgcc => "DGCC".into(),
+            SchedulerKind::Brook => "BROOK".into(),
         }
     }
 }

@@ -8,12 +8,17 @@
 use crate::{Outcome, ReqDecision, Scheduler, StartDecision};
 use bds_workload::{BatchSpec, FileId};
 use bds_wtpg::TxnId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The NODC scheduler.
 #[derive(Debug, Default)]
 pub struct Nodc {
-    live: BTreeMap<TxnId, BatchSpec>,
+    specs: BTreeMap<TxnId, BatchSpec>,
+    /// Admitted (started, not yet finished) transactions. Kept apart
+    /// from `specs`: under an MPL cap the engine gates admissions on
+    /// `live_count`, and counting registered-but-queued transactions
+    /// wedges the gate permanently once the backlog exceeds the cap.
+    live: BTreeSet<TxnId>,
 }
 
 impl Nodc {
@@ -29,11 +34,12 @@ impl Scheduler for Nodc {
     }
 
     fn register(&mut self, id: TxnId, spec: BatchSpec) {
-        let prev = self.live.insert(id, spec);
+        let prev = self.specs.insert(id, spec);
         assert!(prev.is_none(), "duplicate registration of {id:?}");
     }
 
-    fn try_start(&mut self, _id: TxnId) -> Outcome<StartDecision> {
+    fn try_start(&mut self, id: TxnId) -> Outcome<StartDecision> {
+        self.live.insert(id);
         Outcome::free(StartDecision::Admit)
     }
 
@@ -48,17 +54,20 @@ impl Scheduler for Nodc {
     }
 
     fn commit(&mut self, id: TxnId) -> Vec<FileId> {
+        self.specs.remove(&id);
         self.live.remove(&id);
         Vec::new()
     }
 
-    fn abort(&mut self, _id: TxnId) -> Vec<FileId> {
+    fn abort(&mut self, id: TxnId) -> Vec<FileId> {
+        // The registration stays so the transaction can restart.
+        self.live.remove(&id);
         Vec::new()
     }
 
     fn forget(&mut self, id: TxnId, _released: &mut Vec<FileId>) {
-        // `live` doubles as the registration map (abort keeps it so the
-        // transaction can restart); a permanent kill drops it.
+        // A permanent kill drops the registration too.
+        self.specs.remove(&id);
         self.live.remove(&id);
     }
 

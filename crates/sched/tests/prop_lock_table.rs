@@ -154,3 +154,106 @@ fn total_locks_matches_holder_sum() {
         assert_eq!(table.total_locks(), by_file);
     }
 }
+
+/// Upgrade requests: a Shared holder asking for Exclusive on the same
+/// file. The upgrade is granted iff the requester is the only holder,
+/// the row keeps the strongest mode, and a later duplicate Shared
+/// grant never downgrades it.
+#[test]
+fn upgrade_requests_keep_strongest_mode() {
+    for case in 0..CASES {
+        let mut r = Xoshiro256::seed_from_u64(0x06F6 ^ case.wrapping_mul(0x9E37_79B9));
+        let mut table = LockTable::new();
+        let t = TxnId(1);
+        let f = FileId(r.next_range(6) as u32);
+        table.grant(t, f, LockMode::Shared);
+        // Maybe a second sharer is in the way.
+        let crowded = r.next_range(2) == 1;
+        if crowded {
+            table.grant(TxnId(2), f, LockMode::Shared);
+        }
+        let can_upgrade = table.can_grant(t, f, LockMode::Exclusive);
+        assert_eq!(
+            can_upgrade, !crowded,
+            "case {case}: upgrade grantable iff the requester is the sole holder"
+        );
+        if can_upgrade {
+            table.grant(t, f, LockMode::Exclusive);
+            assert_eq!(table.mode_held(t, f), Some(LockMode::Exclusive));
+            assert!(table.holds_sufficient(t, f, LockMode::Exclusive));
+            // A duplicate weaker grant must not downgrade the row.
+            table.grant(t, f, LockMode::Shared);
+            assert_eq!(
+                table.mode_held(t, f),
+                Some(LockMode::Exclusive),
+                "case {case}: duplicate S grant downgraded an X row"
+            );
+            // Still exactly one row for (t, f).
+            assert_eq!(table.files_of(t), vec![f]);
+            assert_eq!(table.total_locks(), 1);
+        } else {
+            // The S row survives the refused upgrade untouched.
+            assert_eq!(table.mode_held(t, f), Some(LockMode::Shared));
+        }
+    }
+}
+
+/// Duplicate declarations: granting the same (txn, file, mode) many
+/// times collapses into one row, and one release clears it.
+#[test]
+fn duplicate_grants_collapse_to_one_row() {
+    for case in 0..CASES {
+        let mut r = Xoshiro256::seed_from_u64(0xD0B1 ^ case.wrapping_mul(0x9E37_79B9));
+        let mut table = LockTable::new();
+        let t = TxnId(7);
+        let f = FileId(r.next_range(6) as u32);
+        let mode = if r.next_range(2) == 1 {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        let dups = r.next_range(5) + 2;
+        for _ in 0..dups {
+            assert!(table.can_grant(t, f, mode), "self-regrant is always legal");
+            table.grant(t, f, mode);
+        }
+        assert_eq!(table.files_of(t), vec![f], "case {case}: duplicate rows");
+        assert_eq!(table.total_locks(), 1, "case {case}: duplicate rows");
+        assert_eq!(table.holders(f).len(), 1);
+        let released = table.release_all(t);
+        assert_eq!(released, vec![f], "case {case}: release not idempotent");
+        assert_eq!(table.total_locks(), 0);
+        assert!(table.release_all(t).is_empty(), "second release found rows");
+    }
+}
+
+/// Empty lock sets: a transaction that never acquired anything is
+/// invisible to the table — queries return empty/None, release is a
+/// no-op, and it never blocks anyone else.
+#[test]
+fn empty_lock_sets_are_invisible() {
+    let mut table = LockTable::new();
+    let ghost = TxnId(99);
+    assert!(table.files_of(ghost).is_empty());
+    assert!(table.release_all(ghost).is_empty());
+    for f in 0u32..6 {
+        assert_eq!(table.mode_held(ghost, FileId(f)), None);
+        assert!(!table.holds_sufficient(ghost, FileId(f), LockMode::Shared));
+        // A ghost never conflicts with anyone.
+        assert_eq!(
+            table
+                .conflicting_holders_iter(TxnId(1), FileId(f), LockMode::Exclusive)
+                .count(),
+            0
+        );
+    }
+    // Interleave a real holder: the ghost still releases to nothing and
+    // the holder's rows are untouched by the ghost's release.
+    table.grant(TxnId(1), FileId(3), LockMode::Exclusive);
+    assert!(table.release_all(ghost).is_empty());
+    assert_eq!(
+        table.mode_held(TxnId(1), FileId(3)),
+        Some(LockMode::Exclusive)
+    );
+    assert_eq!(table.total_locks(), 1);
+}

@@ -1,125 +1,26 @@
 //! Chaos/differential harness: property tests sweeping random
 //! seed + fault-plan combinations against scheduler-independent
-//! invariants, plus a differential fuzzer running all six schedulers on
-//! the same seeded workload and fault plan and cross-checking the
+//! invariants, plus a differential fuzzer running all eight schedulers
+//! on the same seeded workload and fault plan and cross-checking the
 //! NODC-bound and accounting relations.
 //!
-//! Every assertion message carries the failing case seed so a failure
-//! can be replayed exactly: `random_plan` and the config derive all
-//! randomness from it.
+//! The workload/plan/invariant machinery lives in `harness.rs`, shared
+//! with the scheduler-conformance suite. Every assertion message
+//! carries the failing case seed so a failure can be replayed exactly:
+//! `harness::random_plan` and the config derive all randomness from it.
+
+#[path = "harness.rs"]
+mod harness;
 
 use batchsched::config::{SimConfig, WorkloadKind};
 use batchsched::des::rng::Xoshiro256;
-use batchsched::des::time::SimTime;
 use batchsched::des::Duration;
-use batchsched::fault::{CnStall, CrashFault, DegradedMode, FaultPlan, LinkFaults, RetryPolicy};
 use batchsched::sched::SchedulerKind;
 use batchsched::sim::Simulator;
-use batchsched::wtpg::oracle::is_serializable;
+use harness::{case_config, check_case, random_plan};
 
 /// Cases per scheduler in the property sweep.
 const CASES: u64 = 200;
-
-/// Draw a random-but-reproducible fault plan over a `horizon_secs` run.
-fn random_plan(rng: &mut Xoshiro256, horizon_secs: u64) -> FaultPlan {
-    let mut plan = FaultPlan::none();
-    plan.seed = rng.next_u64();
-    for _ in 0..rng.next_range(4) {
-        plan.crashes.push(CrashFault {
-            node: rng.next_range(8) as u32,
-            at: SimTime::from_millis(rng.next_range(horizon_secs * 800) + 1),
-            down_for: Duration::from_millis(rng.next_range(30_000) + 1_000),
-        });
-    }
-    if rng.next_range(2) == 1 {
-        plan.cn_stalls.push(CnStall {
-            at: SimTime::from_millis(rng.next_range(horizon_secs * 1000)),
-            stall_for: Duration::from_millis(rng.next_range(8_000) + 500),
-        });
-    }
-    if rng.next_range(2) == 1 {
-        plan.link = LinkFaults {
-            delay: Duration::from_millis(rng.next_range(20)),
-            loss_per_mille: rng.next_range(80) as u32,
-            redeliver_after: Duration::from_millis(rng.next_range(1500) + 100),
-        };
-    }
-    if rng.next_range(4) == 0 {
-        plan.mtbf = Some(Duration::from_secs(rng.next_range(200) + 40));
-        plan.mttr = Duration::from_secs(rng.next_range(20) + 5);
-    }
-    plan.retry = RetryPolicy {
-        base_delay: Duration::from_millis(rng.next_range(3_000) + 200),
-        max_delay: Duration::from_secs(20),
-        max_attempts: rng.next_range(5) as u32 + 1,
-    };
-    plan.degraded = if rng.next_range(2) == 0 {
-        DegradedMode::Reroute
-    } else {
-        DegradedMode::Hold
-    };
-    plan
-}
-
-fn case_config(kind: SchedulerKind, case_seed: u64) -> SimConfig {
-    let mut rng = Xoshiro256::seed_from_u64(case_seed);
-    let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
-    c.seed = rng.next_u64();
-    c.lambda_tps = [0.4, 0.7, 1.0][rng.next_index(3)];
-    c.horizon = Duration::from_secs(60);
-    c.with_faults(random_plan(&mut rng, 60))
-}
-
-/// The invariants every scheduler must uphold under every fault plan.
-fn check_case(kind: SchedulerKind, case_seed: u64) {
-    let c = case_config(kind, case_seed);
-    let mut sim = Simulator::new(&c);
-    sim.run_to_horizon();
-    let r = sim.report();
-    let ctx = format!("{kind} case_seed={case_seed:#x} plan={:?}", c.faults);
-    // Conservation: arrivals = committed + permanently killed + tracked.
-    assert_eq!(
-        r.arrived,
-        r.completed + r.killed + sim.in_flight(),
-        "{ctx}: conservation violated"
-    );
-    // Cause counters partition the abort total.
-    assert_eq!(
-        r.restarts,
-        r.aborts_validation + r.aborts_scheduler + r.aborts_fault,
-        "{ctx}: abort-cause partition violated"
-    );
-    // No WTPG arena slot may leak when attempts die to crashes.
-    let tel = sim.scheduler().telemetry();
-    assert_eq!(
-        tel.wtpg_slots - tel.wtpg_free,
-        tel.wtpg_nodes,
-        "{ctx}: WTPG arena slot leak"
-    );
-    // No locks held by dead transactions: all rows belong to tracked
-    // transactions (≤ 3 locks per Pattern-1 batch).
-    assert!(
-        tel.locks_held as u64 <= 3 * sim.in_flight(),
-        "{ctx}: {} lock rows exceed what {} tracked transactions can hold",
-        tel.locks_held,
-        sim.in_flight()
-    );
-    assert!(
-        (0.0..=1.0).contains(&r.availability),
-        "{ctx}: availability {} out of range",
-        r.availability
-    );
-    // Serializability of the committed history under faults. NODC is
-    // non-serializable by design (the paper's upper bound).
-    if kind != SchedulerKind::Nodc {
-        let constraints = sim.drain_constraints();
-        assert!(
-            is_serializable(&constraints),
-            "{ctx}: cyclic precedence history ({} constraints)",
-            constraints.len()
-        );
-    }
-}
 
 fn sweep(kind: SchedulerKind, salt: u64) {
     for case in 0..CASES {
@@ -160,7 +61,21 @@ fn chaos_sweep_opt() {
     sweep(SchedulerKind::Opt, 0x06);
 }
 
-/// Differential fuzzer: one workload + one fault plan, all six
+#[test]
+fn chaos_sweep_dgcc() {
+    sweep(SchedulerKind::Dgcc, 0x07);
+}
+
+/// Brook's sweep doubles as the corpus-wide zero-deadlock check:
+/// `check_case` asserts `aborts_scheduler == 0` for Brook on every
+/// case, so 200 random fault plans must finish without a single
+/// scheduler-induced restart.
+#[test]
+fn chaos_sweep_brook() {
+    sweep(SchedulerKind::Brook, 0x08);
+}
+
+/// Differential fuzzer: one workload + one fault plan, all eight
 /// schedulers. Checks relations that must hold *across* schedulers.
 #[test]
 fn differential_same_plan_across_schedulers() {
@@ -170,7 +85,7 @@ fn differential_same_plan_across_schedulers() {
         let seed = rng.next_u64();
         let plan = random_plan(&mut rng, 120);
         let mut reports = Vec::new();
-        for kind in SchedulerKind::PAPER_SET {
+        for kind in SchedulerKind::EXTENDED_SET {
             let mut c = SimConfig::new(kind, WorkloadKind::Exp1 { num_files: 16 });
             c.seed = seed;
             c.lambda_tps = 0.6;
@@ -209,6 +124,13 @@ fn differential_same_plan_across_schedulers() {
                 r.completed,
                 nodc.completed
             );
+            // Brook never aborts of its own accord, on any shared plan.
+            if *kind == SchedulerKind::Brook {
+                assert_eq!(
+                    r.aborts_scheduler, 0,
+                    "case_seed={case_seed:#x}: Brook-2PL scheduler abort"
+                );
+            }
         }
     }
 }
@@ -219,7 +141,13 @@ fn differential_same_plan_across_schedulers() {
 fn chaos_runs_are_deterministic() {
     for case in 0..10u64 {
         let case_seed = 0xDE7E_0000u64 + case;
-        for kind in [SchedulerKind::Nodc, SchedulerKind::Gow, SchedulerKind::Opt] {
+        for kind in [
+            SchedulerKind::Nodc,
+            SchedulerKind::Gow,
+            SchedulerKind::Opt,
+            SchedulerKind::Dgcc,
+            SchedulerKind::Brook,
+        ] {
             let c = case_config(kind, case_seed);
             let a = Simulator::run(&c);
             let b = Simulator::run(&c);

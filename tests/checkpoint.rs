@@ -37,7 +37,12 @@ fn pick(seed: u64, bound: u64) -> u64 {
 /// Snapshot at `split` events, round-trip through JSON, restore and run
 /// to the horizon; the restored report must equal `bulk` exactly.
 /// Returns the mid-run snapshot for further checks.
-fn check_one_hop(c: &SimConfig, split: u64) -> Snapshot {
+///
+/// `split_seed` is the [`pick`] seed that produced `split`: every
+/// assertion carries it so a failing randomized split point can be
+/// replayed exactly instead of guessed at.
+fn check_one_hop(c: &SimConfig, split_seed: u64, split: u64) -> Snapshot {
+    let ctx = format!("{} split_seed={split_seed:#x} split={split}", c.scheduler);
     let bulk = Simulator::run(c);
     let mut e = Engine::new(c);
     e.enable_checkpointing();
@@ -50,46 +55,47 @@ fn check_one_hop(c: &SimConfig, split: u64) -> Snapshot {
 
     // The wire format is lossless and deterministic.
     let text = snap.to_json();
-    let back = Snapshot::from_json(&text).expect("snapshot JSON parses");
-    assert_eq!(back.to_json(), text, "re-encode must be byte-identical");
+    let back = Snapshot::from_json(&text)
+        .unwrap_or_else(|err| panic!("{ctx}: snapshot JSON does not parse: {err}"));
+    assert_eq!(
+        back.to_json(),
+        text,
+        "{ctx}: re-encode must be byte-identical"
+    );
 
     let mut restored = Engine::restore(c, &back);
     restored.run_to_horizon();
     assert_eq!(
         restored.report(),
         bulk,
-        "{} split={split}: restored run diverged from uninterrupted run",
-        c.scheduler
+        "{ctx}: restored run diverged from uninterrupted run"
     );
 
     // The engine that produced the snapshot also finishes identically.
     e.run_to_horizon();
-    assert_eq!(
-        e.report(),
-        bulk,
-        "{} snapshotting perturbed the run",
-        c.scheduler
-    );
+    assert_eq!(e.report(), bulk, "{ctx}: snapshotting perturbed the run");
     snap
 }
 
 #[test]
 fn snapshot_restore_identity_all_schedulers() {
-    for (i, kind) in SchedulerKind::PAPER_SET.into_iter().enumerate() {
+    for (i, kind) in SchedulerKind::EXTENDED_SET.into_iter().enumerate() {
         let c = cfg(kind, false);
         let events = Simulator::run(&c).events;
-        let split = pick(i as u64 + 1, events);
-        check_one_hop(&c, split);
+        let split_seed = i as u64 + 1;
+        let split = pick(split_seed, events);
+        check_one_hop(&c, split_seed, split);
     }
 }
 
 #[test]
 fn snapshot_restore_identity_under_faults() {
-    for (i, kind) in SchedulerKind::PAPER_SET.into_iter().enumerate() {
+    for (i, kind) in SchedulerKind::EXTENDED_SET.into_iter().enumerate() {
         let c = cfg(kind, true);
         let events = Simulator::run(&c).events;
-        let split = pick(0x0fa1_7000 + i as u64, events);
-        check_one_hop(&c, split);
+        let split_seed = 0x0fa1_7000 + i as u64;
+        let split = pick(split_seed, events);
+        check_one_hop(&c, split_seed, split);
     }
 }
 

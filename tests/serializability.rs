@@ -51,21 +51,26 @@ fn audit_with_faults(
     );
 }
 
-const LOCKING: [SchedulerKind; 4] = [
+const LOCKING: [SchedulerKind; 6] = [
     SchedulerKind::Asl,
     SchedulerKind::C2pl,
     SchedulerKind::Gow,
     SchedulerKind::Low(2),
+    SchedulerKind::Dgcc,
+    SchedulerKind::Brook,
 ];
 
-/// Every scheduler with a meaningful constraint log: the four locking
-/// schedulers plus OPT's certify-time edges.
-const AUDITED: [SchedulerKind; 5] = [
+/// Every scheduler with a meaningful constraint log: the locking
+/// schedulers (including the batch/epoch family) plus OPT's
+/// certify-time edges.
+const AUDITED: [SchedulerKind; 7] = [
     SchedulerKind::Asl,
     SchedulerKind::C2pl,
     SchedulerKind::Gow,
     SchedulerKind::Low(2),
     SchedulerKind::Opt,
+    SchedulerKind::Dgcc,
+    SchedulerKind::Brook,
 ];
 
 #[test]

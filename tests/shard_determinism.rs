@@ -34,7 +34,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// sharded rendering must reproduce the very same bytes. Regenerate with
 /// `cargo run --release --example golden_hashes` only on an intentional
 /// output change (and update both copies).
-const GOLDEN: [(&str, u64); 10] = [
+const GOLDEN: [(&str, u64); 12] = [
     ("fig8", 0xcd26cd3df8091310),
     ("table2", 0xd134324c420ce3ed),
     ("fig9", 0xfbd69094188e993c),
@@ -45,6 +45,10 @@ const GOLDEN: [(&str, u64); 10] = [
     ("fig12", 0xda21eafa3dd26982),
     ("fig13", 0x54ecc37c9d5d5325),
     ("table5", 0xf2c13016c980e8ea),
+    // Extended-set artifacts (DGCC + BROOK columns); see
+    // tests/parallel_determinism.rs.
+    ("fig8x", 0xa7627f7f0b500e46),
+    ("fig10x", 0xd96c06ed62640cc6),
 ];
 
 /// Tiny deterministic generator for randomized cut points — the test
